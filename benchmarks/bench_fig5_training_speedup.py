@@ -1,0 +1,47 @@
+"""Fig. 5: ImageNet training speedup, non-pipelined and pipelined.
+
+Paper: VGG16 > 8x non-pipelined (linear-op time cut 23x); ResNet50 4.2x;
+MobileNetV2 2.2x; pipelining overlaps communication under compute, lifting
+linear-op speedups to 20-158x and the overall numbers above the
+non-pipelined bars.
+"""
+
+from conftest import show
+
+from repro.perf import fig5_series
+from repro.reporting import render_table
+
+PAPER_OVERALL = {"VGG16": 8.0, "ResNet50": 4.2, "MobileNetV2": 2.2}
+
+
+def test_fig5_training_speedup(benchmark, capsys):
+    series = benchmark(fig5_series)
+    rendered = render_table(
+        ["Model", "non-pipelined", "(paper)", "pipelined", "linear x (pipe)", "linear x (non-pipe)"],
+        [
+            [
+                model,
+                f"{v['non_pipelined']:.1f}x",
+                f"{PAPER_OVERALL[model]:.1f}x",
+                f"{v['pipelined']:.1f}x",
+                f"{v['linear_speedup_pipelined']:.0f}x",
+                f"{v['linear_speedup_non_pipelined']:.0f}x",
+            ]
+            for model, v in series.items()
+        ],
+        title="Fig 5 — ImageNet training speedup over the SGX-only baseline",
+    )
+    show(capsys, rendered)
+    for model, v in series.items():
+        paper = PAPER_OVERALL[model]
+        assert abs(v["non_pipelined"] - paper) / paper < 0.5, model
+        assert v["pipelined"] > v["non_pipelined"]
+    # Paper's pipelined linear-op speedups span roughly 20-158x.
+    lin = [v["linear_speedup_pipelined"] for v in series.values()]
+    assert max(lin) > 50 and min(lin) > 10
+    # Ordering: VGG benefits most, MobileNet least.
+    assert (
+        series["VGG16"]["non_pipelined"]
+        > series["ResNet50"]["non_pipelined"]
+        > series["MobileNetV2"]["non_pipelined"]
+    )

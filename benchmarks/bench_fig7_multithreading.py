@@ -1,0 +1,30 @@
+"""Fig. 7: effect of SGX multithreading on training latency (VGG16).
+
+Paper: counter-intuitively, adding enclave threads *increases* per-batch
+latency (to ~7x at 4 threads) because concurrent working sets multiply the
+encrypted-paging traffic through the shared memory-encryption engine.
+"""
+
+from conftest import show
+
+from repro.perf import fig7_series
+from repro.reporting import render_series
+
+
+def test_fig7_multithreading(benchmark, capsys):
+    series = benchmark(fig7_series)
+    threads = sorted(series)
+    show(
+        capsys,
+        render_series(
+            "Fig 7 — SGX training latency vs threads (relative to 1 thread)",
+            threads,
+            [series[t] for t in threads],
+            unit="x",
+        ),
+    )
+    assert series[1] == 1.0
+    assert series[2] > 1.5
+    assert series[3] > series[2]
+    assert series[4] > series[3]
+    assert 3.0 < series[4] < 12.0  # paper eyeballs ~7x

@@ -1,0 +1,66 @@
+"""Cross-validation: functional ledger counts vs cost-model traffic shapes.
+
+The timing exhibits come from the analytical cost model; the accuracy
+exhibit from the functional runtime.  This benchmark ties them together: it
+runs one real masked training step on a Mini model and checks that the
+*measured* ledgers (GPU MACs, link bytes, enclave encode/decode bytes)
+scale with K and with integrity exactly the way the cost model says they
+should.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.models import build_mini_vgg
+from repro.reporting import render_table
+from repro.runtime import DarKnightBackend, DarKnightConfig, Trainer
+
+
+def _measure(k: int, integrity: bool = False) -> dict:
+    rng = np.random.default_rng(0)
+    net = build_mini_vgg(input_shape=(3, 8, 8), n_classes=4, rng=rng, width=8)
+    backend = DarKnightBackend(
+        DarKnightConfig(virtual_batch_size=k, integrity=integrity, seed=0)
+    )
+    trainer = Trainer(net, backend, lr=0.01)
+    x = rng.normal(size=(4, 3, 8, 8))
+    y = rng.integers(0, 4, 4)
+    trainer.train_step(x, y)
+    ledger = backend.enclave.ledger
+    return {
+        "k": k,
+        "integrity": integrity,
+        "gpu_macs": backend.cluster.total_mac_ops(),
+        "link_bytes": backend.link.total_bytes,
+        "encode_bytes": ledger.op_bytes.get("encode_forward", 0),
+        "decode_bytes": ledger.op_bytes.get("decode_forward", 0),
+    }
+
+
+def _collect():
+    return [_measure(1), _measure(2), _measure(4), _measure(2, integrity=True)]
+
+
+def test_functional_counters(benchmark, capsys):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    show(
+        capsys,
+        render_table(
+            ["K", "integrity", "GPU MACs", "link bytes", "encode bytes", "decode bytes"],
+            [
+                [r["k"], r["integrity"], f"{r['gpu_macs']:,}", f"{r['link_bytes']:,}",
+                 f"{r['encode_bytes']:,}", f"{r['decode_bytes']:,}"]
+                for r in rows
+            ],
+            title="Functional ledger counts, one training step (batch 4, MiniVGG)",
+        ),
+    )
+    by_k = {(r["k"], r["integrity"]): r for r in rows}
+    # Larger K -> fewer shares per sample -> less aggregate GPU work and
+    # traffic (the S/K amortisation the cost model builds on).
+    assert by_k[(1, False)]["gpu_macs"] > by_k[(2, False)]["gpu_macs"] > by_k[(4, False)]["gpu_macs"]
+    assert by_k[(1, False)]["link_bytes"] > by_k[(2, False)]["link_bytes"]
+    assert by_k[(1, False)]["encode_bytes"] > by_k[(4, False)]["encode_bytes"]
+    # Integrity adds the redundant share's work on top of the same K.
+    assert by_k[(2, True)]["gpu_macs"] > by_k[(2, False)]["gpu_macs"]
+    assert by_k[(2, True)]["link_bytes"] > by_k[(2, False)]["link_bytes"]

@@ -1,0 +1,59 @@
+"""Microbenchmarks of the library's hot kernels (real wall-clock timing).
+
+Unlike the exhibit benches (which assert *modeled* shapes), these time the
+actual numpy implementations that every experiment runs on: the chunked
+field matmul against plain float matmul (the price of overflow-safe modular
+arithmetic), and the encode/decode primitives at a realistic layer size.
+Useful for regression-tracking the simulator's own performance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fieldmath import FieldRng, PrimeField, field_matmul
+from repro.masking import CoefficientSet, ForwardDecoder, ForwardEncoder
+
+FIELD = PrimeField()
+RNG = FieldRng(FIELD, seed=0)
+N = 96
+
+
+@pytest.fixture(scope="module")
+def operands():
+    return RNG.uniform((N, N)), RNG.uniform((N, N))
+
+
+def test_field_matmul_speed(benchmark, operands):
+    a, b = operands
+    result = benchmark(lambda: field_matmul(FIELD, a, b))
+    assert result.shape == (N, N)
+
+
+def test_float_matmul_reference_speed(benchmark, operands):
+    a, b = operands
+    af, bf = a.astype(np.float64), b.astype(np.float64)
+    result = benchmark(lambda: af @ bf)
+    assert result.shape == (N, N)
+
+
+def test_forward_encode_speed(benchmark):
+    coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
+    encoder = ForwardEncoder(coeffs, RNG)
+    x = RNG.uniform((4, 3, 32, 32))
+    batch = benchmark(lambda: encoder.encode(x))
+    assert batch.shares.shape[0] == 6
+
+
+def test_forward_decode_speed(benchmark):
+    coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
+    decoder = ForwardDecoder(coeffs)
+    outputs = RNG.uniform((6, 3, 32, 32))
+    decoded = benchmark(lambda: decoder.decode(outputs))
+    assert decoded.shape == (4, 3, 32, 32)
+
+
+def test_coefficient_generation_speed(benchmark):
+    result = benchmark(
+        lambda: CoefficientSet.generate(RNG, k=4, m=2, extra_shares=1)
+    )
+    assert result.verify()

@@ -1,0 +1,47 @@
+"""Table 3: ImageNet training time breakdown per phase.
+
+Paper fractions (DarKnight | baseline):
+  VGG16        lin .04 nonlin .50 encdec .19 comm .26 | lin .84 nonlin .16
+  ResNet50     lin .04 nonlin .75 encdec .01 comm .20 | lin .61 nonlin .39
+  MobileNetV2  lin .06 nonlin .63 encdec .08 comm .23 | lin .62 nonlin .38
+
+Shape requirement: non-linear TEE time dominates DarKnight (especially the
+BN models), linear is tiny, encode/decode and communication are the paper's
+order of magnitude.  Our VGG16 charges more communication than the paper
+(we price the parameter-shaped Eq_j returns; see EXPERIMENTS.md).
+"""
+
+from conftest import show
+
+from repro.perf import table3_rows
+from repro.reporting import render_table
+
+
+def test_table3_time_breakdown(benchmark, capsys):
+    rows = benchmark(table3_rows)
+    rendered = render_table(
+        ["Model", "DK lin", "DK nonlin", "DK enc/dec", "DK comm", "BL lin", "BL nonlin"],
+        [
+            [
+                r["model"],
+                f"{r['darknight']['linear']:.2f}",
+                f"{r['darknight']['nonlinear']:.2f}",
+                f"{r['darknight']['encode_decode']:.2f}",
+                f"{r['darknight']['communication']:.2f}",
+                f"{r['baseline']['linear']:.2f}",
+                f"{r['baseline']['nonlinear']:.2f}",
+            ]
+            for r in rows
+        ],
+        title="Table 3 — Training time breakdown (fractions of total)",
+    )
+    show(capsys, rendered)
+    by_model = {r["model"]: r for r in rows}
+    # DarKnight linear is tiny everywhere (the offload worked).
+    for r in rows:
+        assert r["darknight"]["linear"] < 0.10
+    # BN models are TEE-nonlinear dominated.
+    assert by_model["ResNet50"]["darknight"]["nonlinear"] > 0.5
+    assert by_model["MobileNetV2"]["darknight"]["nonlinear"] > 0.5
+    # Baselines are linear-dominated for VGG (paper: 0.84).
+    assert by_model["VGG16"]["baseline"]["linear"] > 0.7

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+section and prints it (visible even under pytest) so the run doubles as the
+EXPERIMENTS.md evidence.  Timing uses pytest-benchmark; heavyweight
+functional experiments (Fig. 4's real masked training) run a single round
+via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+
+def show(capsys, text: str) -> None:
+    """Print a rendered exhibit, bypassing pytest capture."""
+    with capsys.disabled():
+        print("\n" + text + "\n")

@@ -1,0 +1,58 @@
+"""The privacy boundary, attacked from both sides (Sections 4.5 and 5).
+
+With ``M`` noise vectors DarKnight tolerates up to ``M`` colluding GPUs.
+This example provisions M = 2, then:
+
+* lets coalitions of size 1, 2 (≤ M) attack with *leaked* secret
+  coefficients — reconstruction fails, pooled shares are uniform;
+* lets a coalition of K + M = 5 GPUs attack — reconstruction succeeds
+  exactly, showing the tolerance is tight, not conservative;
+* measures the statistical dependence an adversary could exploit: mutual
+  information and correlation of shares vs. inputs sit at the estimator
+  floor, while an unmasked control blows up.
+
+Run:  python examples/collusion_attack.py
+"""
+
+from repro.analysis import (
+    chi_square_uniformity,
+    run_collusion_attack,
+    share_input_dependence,
+)
+from repro.fieldmath import FieldRng, PrimeField
+
+K, M = 3, 2
+
+
+def main() -> None:
+    field = PrimeField()
+    rng = FieldRng(field, seed=0)
+    inputs = rng.uniform((K, 64))
+
+    print(f"masking K={K} inputs with M={M} noise vectors -> {K + M} shares\n")
+    for coalition in [(0,), (0, 1), (1, 3), (0, 1, 2), tuple(range(K + M))]:
+        result = run_collusion_attack(field, inputs, coalition, k=K, m=M, seed=1)
+        verdict = "RECONSTRUCTED" if result.success else "failed"
+        print(f"coalition {coalition!s:<18} (|C|={len(coalition)}): {verdict} — {result.reason}")
+
+    # Statistical view of a single GPU's feed across many virtual batches.
+    masked = share_input_dependence(field, k=K, m=M, n_trials=192, seed=2)
+    control = share_input_dependence(field, k=K, m=M, n_trials=192, seed=2, mask=False)
+    print("\nshare/input dependence over 192 fresh encodings:")
+    print(
+        f"  masked : MI excess {masked.mi_excess:+.4f} nats,"
+        f" max |corr| {masked.max_correlation:.3f}"
+    )
+    print(
+        f"  control: MI excess {control.mi_excess:+.4f} nats,"
+        f" max |corr| {control.max_correlation:.3f}  (no masking)"
+    )
+
+    stat, dof = chi_square_uniformity(
+        rng.uniform((20000,)), field.p, bins=64
+    )
+    print(f"\nuniformity sanity (chi-square, dof={dof}): fresh field noise -> {stat:.1f}")
+
+
+if __name__ == "__main__":
+    main()

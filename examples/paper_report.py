@@ -1,0 +1,131 @@
+"""Regenerate every table and figure of the paper's evaluation as one report.
+
+Prints Tables 1-4 and the series behind Figures 3, 5, 6a, 6b, 7 from the
+calibrated cost model, plus the headline averages.  (Figure 4 — the real
+masked-training accuracy run — lives in
+``benchmarks/bench_fig4_training_accuracy.py`` and ``private_training.py``
+because it trains models rather than evaluating the cost model.)
+
+Run:  python examples/paper_report.py
+"""
+
+from repro.perf import (
+    TABLE2_HEADERS,
+    fig3_series,
+    fig5_series,
+    fig6a_series,
+    fig6b_series,
+    fig7_series,
+    headline_speedups,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.reporting import render_series, render_table
+
+
+def main() -> None:
+    rows = table1_rows()
+    print(
+        render_table(
+            ["Operations", "Linear", "Maxpool", "Relu", "Total"],
+            [
+                [r["operation"]] + [f"{r[k]:.2f}x" for k in ("linear", "maxpool", "relu", "total")]
+                for r in rows
+            ],
+            title="Table 1 — GPU speedup over SGX (VGG16, ImageNet)",
+        )
+    )
+
+    print()
+    print(render_table(TABLE2_HEADERS, table2_rows(), title="Table 2 — prior techniques"))
+
+    print()
+    print(
+        render_table(
+            ["Model", "DK lin", "DK nonlin", "DK enc/dec", "DK comm", "BL lin", "BL nonlin"],
+            [
+                [
+                    r["model"],
+                    f"{r['darknight']['linear']:.2f}",
+                    f"{r['darknight']['nonlinear']:.2f}",
+                    f"{r['darknight']['encode_decode']:.2f}",
+                    f"{r['darknight']['communication']:.2f}",
+                    f"{r['baseline']['linear']:.2f}",
+                    f"{r['baseline']['nonlinear']:.2f}",
+                ]
+                for r in table3_rows()
+            ],
+            title="Table 3 — training time breakdown (fractions)",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["Model", "over DarKnight", "over SGX-only"],
+            [
+                [r["model"], f"{r['speedup_over_darknight']:.1f}x", f"{r['speedup_over_sgx']:.1f}x"]
+                for r in table4_rows()
+            ],
+            title="Table 4 — non-private 3-GPU training speedup",
+        )
+    )
+
+    print()
+    for model, speedups in fig3_series().items():
+        ks = sorted(speedups)
+        print(render_series(f"Fig 3 — {model}", ks, [speedups[k] for k in ks], unit="x"))
+
+    print()
+    print(
+        render_table(
+            ["Model", "non-pipelined", "pipelined", "linear x (pipelined)"],
+            [
+                [m, f"{v['non_pipelined']:.1f}x", f"{v['pipelined']:.1f}x",
+                 f"{v['linear_speedup_pipelined']:.0f}x"]
+                for m, v in fig5_series().items()
+            ],
+            title="Fig 5 — training speedup over SGX baseline",
+        )
+    )
+
+    print()
+    configs = ["SGX", "Slalom", "DarKnight(4)", "Slalom+Integrity", "DarKnight(3)+Integrity"]
+    series6a = fig6a_series()
+    print(
+        render_table(
+            ["Model"] + configs,
+            [[m] + [f"{series6a[m][c]:.1f}x" for c in configs] for m in series6a],
+            title="Fig 6a — inference speedup over SGX-only",
+        )
+    )
+
+    print()
+    series6b = fig6b_series()
+    ks = sorted(series6b["Total"])
+    print(
+        render_table(
+            ["Operation"] + [f"K={k}" for k in ks],
+            [[op] + [f"{series6b[op][k]:.2f}x" for k in ks] for op in series6b],
+            title="Fig 6b — per-op inference speedup vs DarKnight(1), VGG16",
+        )
+    )
+
+    print()
+    f7 = fig7_series()
+    print(render_series("Fig 7 — SGX multithread latency (vs 1 thread)",
+                        sorted(f7), [f7[t] for t in sorted(f7)], unit="x"))
+
+    print()
+    headline = headline_speedups()
+    print(
+        f"headline: avg training speedup {headline['training_speedup_avg']:.1f}x"
+        f" (paper 6.5x), avg inference speedup"
+        f" {headline['inference_speedup_avg']:.1f}x (paper 12.5x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

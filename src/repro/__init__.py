@@ -1,0 +1,68 @@
+"""DarKnight reproduction: privacy/integrity-preserving DNN training via TEE-GPU masking.
+
+Reproduces Hashemi, Wang & Annavaram, *DarKnight* (MICRO 2021).  The public
+API re-exports the pieces a downstream user needs most:
+
+>>> from repro import DarKnightConfig, Trainer, build_mini_vgg
+>>> from repro.runtime import DarKnightBackend
+>>> net = build_mini_vgg()
+>>> trainer = Trainer(net, DarKnightBackend(DarKnightConfig(virtual_batch_size=2)))
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and experiment index.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    EncodingError,
+    EnclaveError,
+    FieldError,
+    IntegrityError,
+    QuantizationError,
+    ReproError,
+)
+from repro.fieldmath import DEFAULT_PRIME, FieldRng, PrimeField
+from repro.masking import CoefficientSet, ForwardDecoder, ForwardEncoder, IntegrityVerifier
+from repro.models import build_mini_mobilenet, build_mini_resnet, build_mini_vgg
+from repro.nn import PlainBackend, Sequential
+from repro.quantization import QuantizationConfig
+from repro.runtime import (
+    DarKnightBackend,
+    DarKnightConfig,
+    PrivateInferenceEngine,
+    Trainer,
+)
+from repro.slalom import SlalomBackend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "FieldError",
+    "QuantizationError",
+    "EncodingError",
+    "DecodingError",
+    "IntegrityError",
+    "EnclaveError",
+    "ConfigurationError",
+    "PrimeField",
+    "FieldRng",
+    "DEFAULT_PRIME",
+    "QuantizationConfig",
+    "CoefficientSet",
+    "ForwardEncoder",
+    "ForwardDecoder",
+    "IntegrityVerifier",
+    "Sequential",
+    "PlainBackend",
+    "DarKnightConfig",
+    "DarKnightBackend",
+    "Trainer",
+    "PrivateInferenceEngine",
+    "SlalomBackend",
+    "build_mini_vgg",
+    "build_mini_resnet",
+    "build_mini_mobilenet",
+]

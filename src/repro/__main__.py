@@ -1,0 +1,43 @@
+"""``python -m repro`` — regenerate the paper's evaluation as a text report.
+
+Runs the same harnesses the benchmarks assert on and prints every table and
+figure series (see examples/paper_report.py for the library-level version).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    report = Path(__file__).resolve().parent.parent.parent / "examples" / "paper_report.py"
+    if report.exists():
+        runpy.run_path(str(report), run_name="__main__")
+        return 0
+    # Installed without the examples tree: fall back to the harnesses.
+    from repro.perf import headline_speedups, table1_rows
+    from repro.reporting import render_table
+
+    rows = table1_rows()
+    print(
+        render_table(
+            ["Operations", "Linear", "Maxpool", "Relu", "Total"],
+            [
+                [r["operation"]] + [f"{r[k]:.2f}x" for k in ("linear", "maxpool", "relu", "total")]
+                for r in rows
+            ],
+            title="Table 1 — GPU speedup over SGX (VGG16, ImageNet)",
+        )
+    )
+    headline = headline_speedups()
+    print(
+        f"\nheadline: training {headline['training_speedup_avg']:.1f}x,"
+        f" inference {headline['inference_speedup_avg']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

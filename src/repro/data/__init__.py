@@ -1,0 +1,12 @@
+"""Synthetic datasets and loaders (CIFAR/ImageNet substitution per DESIGN.md)."""
+
+from repro.data.loaders import BatchIterator
+from repro.data.synthetic import Dataset, cifar_like, imagenet_like, make_image_dataset
+
+__all__ = [
+    "Dataset",
+    "make_image_dataset",
+    "cifar_like",
+    "imagenet_like",
+    "BatchIterator",
+]

@@ -1,0 +1,51 @@
+"""Minibatch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BatchIterator:
+    """Seeded, optionally shuffled minibatch iterator.
+
+    Iterating yields ``(x_batch, y_batch)`` views; a fresh shuffle order is
+    drawn per epoch (i.e. per ``iter()`` call).
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if x.shape[0] != np.asarray(y).shape[0]:
+            raise ConfigurationError("x and y disagree on sample count")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
+        self.x = x
+        self.y = np.asarray(y)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self.x.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = self.x.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop_at = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop_at, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.x[idx], self.y[idx]

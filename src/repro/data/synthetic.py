@@ -1,0 +1,123 @@
+"""Seeded synthetic image-classification datasets.
+
+The paper trains on CIFAR-10 and ImageNet; neither ships with this offline
+reproduction, so we generate class-conditional synthetic images instead
+(documented substitution in DESIGN.md §2).  Each class gets a smooth random
+template (low-frequency sinusoid mixture — image-like spatial correlation);
+samples are template + per-sample texture + Gaussian noise.  The task is
+learnable but not trivial, which is all the Fig. 4 experiment needs: it
+compares *relative* accuracy of raw vs. masked training on identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory split dataset."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Per-sample shape."""
+        return tuple(self.x_train.shape[1:])
+
+
+def _class_template(
+    shape: tuple[int, int, int], rng: np.random.Generator, n_waves: int = 4
+) -> np.ndarray:
+    """A smooth random pattern with image-like spatial correlation."""
+    c, h, w = shape
+    yy, xx = np.meshgrid(np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij")
+    template = np.zeros(shape)
+    for _ in range(n_waves):
+        fy, fx = rng.uniform(0.5, 3.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(0.5, 1.0)
+        wave = amp * np.sin(2 * np.pi * (fy * yy + fx * xx) + phase)
+        channel_mix = rng.uniform(0.2, 1.0, size=(c, 1, 1))
+        template += channel_mix * wave
+    return template / np.max(np.abs(template))
+
+
+def make_image_dataset(
+    n_train: int,
+    n_test: int,
+    n_classes: int = 10,
+    shape: tuple[int, int, int] = (3, 16, 16),
+    noise: float = 0.35,
+    seed: int = 0,
+) -> Dataset:
+    """Build a seeded class-conditional synthetic image dataset.
+
+    Parameters
+    ----------
+    noise:
+        Standard deviation of the additive Gaussian noise; higher values
+        make the task harder (0.35 gives mid-90s accuracy for the Mini
+        models after a few epochs).
+    """
+    if n_train < 1 or n_test < 1:
+        raise ConfigurationError(
+            f"need at least 1 train and 1 test sample, got ({n_train}, {n_test})"
+        )
+    if n_classes < 2:
+        raise ConfigurationError(f"need at least 2 classes, got {n_classes}")
+    rng = np.random.default_rng(seed)
+    templates = [ _class_template(shape, rng) for _ in range(n_classes) ]
+
+    def sample(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        images = np.empty((n,) + shape)
+        for i, label in enumerate(labels):
+            jitter = rng.normal(0.0, 0.15)
+            images[i] = (
+                (1.0 + jitter) * templates[label]
+                + noise * rng.normal(size=shape)
+            )
+        # Keep pixel range roughly [-1, 1] like normalised CIFAR.
+        images = np.clip(images, -2.0, 2.0) / 2.0
+        return images, labels
+
+    x_train, y_train = sample(n_train)
+    x_test, y_test = sample(n_test)
+    return Dataset(
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        n_classes=n_classes,
+    )
+
+
+def cifar_like(
+    n_train: int = 512, n_test: int = 128, seed: int = 0, size: int = 16
+) -> Dataset:
+    """CIFAR-10-shaped synthetic data (10 classes, 3 channels).
+
+    ``size`` defaults to 16 rather than 32 to keep the numpy masked-training
+    experiments fast; pass 32 for full CIFAR geometry.
+    """
+    return make_image_dataset(
+        n_train, n_test, n_classes=10, shape=(3, size, size), seed=seed
+    )
+
+
+def imagenet_like(
+    n_train: int = 8, n_test: int = 4, seed: int = 0, n_classes: int = 1000
+) -> Dataset:
+    """ImageNet-shaped synthetic data (224x224); for shape/pipeline tests only."""
+    return make_image_dataset(
+        n_train, n_test, n_classes=n_classes, shape=(3, 224, 224), seed=seed
+    )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the DarKnight reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (bad modulus, non-invertible element...)."""
+
+
+class SingularMatrixError(FieldError):
+    """A matrix expected to be invertible over F_p is singular."""
+
+
+class QuantizationError(ReproError):
+    """Fixed-point conversion failed (overflow past the signed field range)."""
+
+
+class EncodingError(ReproError):
+    """Masking/encoding setup is inconsistent (dimension or coefficient errors)."""
+
+
+class DecodingError(ReproError):
+    """A decode could not recover the expected plaintext result."""
+
+
+class IntegrityError(ReproError):
+    """Redundant-share verification detected tampered GPU results."""
+
+
+class EnclaveError(ReproError):
+    """SGX-simulator failure (memory exhaustion, sealing, attestation...)."""
+
+
+class AttestationError(EnclaveError):
+    """Enclave measurement or quote verification failed."""
+
+
+class SealingError(EnclaveError):
+    """Sealed blob failed authentication on unseal."""
+
+
+class CommunicationError(ReproError):
+    """Secure-channel failure (bad MAC, no session established...)."""
+
+
+class GpuError(ReproError):
+    """Simulated accelerator failure."""
+
+
+class ConfigurationError(ReproError):
+    """A runtime / experiment configuration is invalid."""

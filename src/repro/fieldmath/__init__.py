@@ -1,0 +1,39 @@
+"""Finite-field substrate: ``F_p`` arithmetic, linear algebra, seeded sampling.
+
+The public surface of this subpackage is:
+
+* :class:`~repro.fieldmath.prime.PrimeField` — element-wise field ops;
+* :func:`~repro.fieldmath.linalg.field_matmul` and friends — overflow-safe
+  matrix algebra mod ``p``;
+* :class:`~repro.fieldmath.random.FieldRng` — seeded mask/coefficient sampling.
+"""
+
+from repro.fieldmath.linalg import (
+    all_column_subsets_full_rank,
+    determinant,
+    field_dot,
+    field_matmul,
+    inverse,
+    is_invertible,
+    rank,
+    solve,
+    vandermonde,
+)
+from repro.fieldmath.prime import DEFAULT_PRIME, SAFE_ACCUMULATION, PrimeField
+from repro.fieldmath.random import FieldRng
+
+__all__ = [
+    "DEFAULT_PRIME",
+    "SAFE_ACCUMULATION",
+    "PrimeField",
+    "FieldRng",
+    "field_matmul",
+    "field_dot",
+    "inverse",
+    "solve",
+    "rank",
+    "determinant",
+    "is_invertible",
+    "vandermonde",
+    "all_column_subsets_full_rank",
+]

@@ -1,0 +1,231 @@
+"""Linear algebra over ``F_p``: overflow-safe products, inverses, rank, MDS.
+
+Everything DarKnight offloads to GPUs is a bilinear form over the field, and
+everything the enclave does to decode is small dense linear algebra over the
+same field.  This module provides both:
+
+* :func:`field_matmul` — matrix product with chunked reduction so int64 never
+  overflows, used by the simulated GPU kernels;
+* Gauss-Jordan :func:`inverse` / :func:`solve` / :func:`rank` used when
+  generating and applying DarKnight coefficient matrices;
+* :func:`vandermonde` — the MDS construction guaranteeing that *every*
+  ``<= M``-column subset of the noise-coefficient block ``A2`` is full rank
+  (Section 4.5's collusion requirement, which random matrices only satisfy
+  with high probability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.fieldmath.prime import SAFE_ACCUMULATION, PrimeField
+
+
+def _as_matrix(a: np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.int64)
+    if arr.ndim != 2:
+        raise FieldError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return arr
+
+
+def field_matmul(
+    field: PrimeField,
+    a: np.ndarray,
+    b: np.ndarray,
+    chunk: int = SAFE_ACCUMULATION,
+) -> np.ndarray:
+    """``(a @ b) mod p`` with the contraction axis reduced in chunks.
+
+    A single field product is below ``p**2 < 2**50``; summing more than
+    ``~2**13`` of them overflows int64.  We therefore split the shared axis
+    into ``chunk``-sized blocks, reduce each partial product mod ``p`` and
+    accumulate the (now ``< p``) partials, reducing again at the end.
+
+    Accepts any ``a`` of shape ``(..., n)`` against ``b`` of shape
+    ``(n, ...)`` the way ``np.matmul`` of 2-D operands does; the common case
+    is plain 2-D x 2-D.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape[-1] != b.shape[0]:
+        raise FieldError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if chunk < 1:
+        raise FieldError(f"chunk must be positive, got {chunk}")
+    n = a.shape[-1]
+    out_shape = a.shape[:-1] + b.shape[1:]
+    result = np.zeros(out_shape, dtype=np.int64)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        partial = np.matmul(a[..., start:stop], b[start:stop])
+        result += np.mod(partial, field.p)
+    return np.mod(result, field.p)
+
+
+def field_dot(field: PrimeField, a: np.ndarray, b: np.ndarray) -> int:
+    """Inner product of two 1-D field vectors, reduced safely."""
+    a = np.asarray(a, dtype=np.int64).ravel()
+    b = np.asarray(b, dtype=np.int64).ravel()
+    if a.shape != b.shape:
+        raise FieldError(f"vector lengths differ: {a.shape} vs {b.shape}")
+    total = 0
+    for start in range(0, a.size, SAFE_ACCUMULATION):
+        stop = min(start + SAFE_ACCUMULATION, a.size)
+        total = (total + int(np.dot(a[start:stop], b[start:stop])) % field.p) % field.p
+    return total
+
+
+def _eliminate(field: PrimeField, matrix: np.ndarray, augment: np.ndarray | None):
+    """Gauss-Jordan elimination mod p.
+
+    Returns ``(reduced, augment_reduced, pivot_columns)``.  ``augment`` may be
+    ``None`` when only rank information is needed.
+    """
+    m = field.element(matrix).copy()
+    aug = None if augment is None else field.element(augment).copy()
+    rows, cols = m.shape
+    pivots: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        pivot_candidates = np.nonzero(m[row:, col])[0]
+        if pivot_candidates.size == 0:
+            continue
+        pivot_row = row + int(pivot_candidates[0])
+        if pivot_row != row:
+            m[[row, pivot_row]] = m[[pivot_row, row]]
+            if aug is not None:
+                aug[[row, pivot_row]] = aug[[pivot_row, row]]
+        inv_pivot = field.scalar_inv(int(m[row, col]))
+        m[row] = field.mul(m[row], inv_pivot)
+        if aug is not None:
+            aug[row] = field.mul(aug[row], inv_pivot)
+        for other in range(rows):
+            if other == row or m[other, col] == 0:
+                continue
+            factor = int(m[other, col])
+            m[other] = field.sub(m[other], field.mul(m[row], factor))
+            if aug is not None:
+                aug[other] = field.sub(aug[other], field.mul(aug[row], factor))
+        pivots.append(col)
+        row += 1
+    return m, aug, pivots
+
+
+def rank(field: PrimeField, matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over ``F_p``."""
+    _, _, pivots = _eliminate(field, _as_matrix(matrix), None)
+    return len(pivots)
+
+
+def is_invertible(field: PrimeField, matrix: np.ndarray) -> bool:
+    """True when a square matrix has full rank over ``F_p``."""
+    m = _as_matrix(matrix)
+    if m.shape[0] != m.shape[1]:
+        return False
+    return rank(field, m) == m.shape[0]
+
+
+def inverse(field: PrimeField, matrix: np.ndarray) -> np.ndarray:
+    """Matrix inverse over ``F_p`` via Gauss-Jordan.
+
+    Raises
+    ------
+    SingularMatrixError
+        If the matrix is not square or not full rank.
+    """
+    m = _as_matrix(matrix)
+    if m.shape[0] != m.shape[1]:
+        raise SingularMatrixError(f"cannot invert non-square matrix {m.shape}")
+    n = m.shape[0]
+    reduced, aug, pivots = _eliminate(field, m, field.eye(n))
+    if len(pivots) != n:
+        raise SingularMatrixError(f"matrix of shape {m.shape} is singular mod {field.p}")
+    del reduced
+    return aug
+
+
+def solve(field: PrimeField, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` over ``F_p`` for square invertible ``a``."""
+    a = _as_matrix(a)
+    b_arr = field.element(b)
+    vector_input = b_arr.ndim == 1
+    if vector_input:
+        b_arr = b_arr.reshape(-1, 1)
+    if a.shape[0] != b_arr.shape[0]:
+        raise FieldError(f"incompatible shapes {a.shape} and {b_arr.shape}")
+    x = field_matmul(field, inverse(field, a), b_arr)
+    return x.ravel() if vector_input else x
+
+
+def determinant(field: PrimeField, matrix: np.ndarray) -> int:
+    """Determinant over ``F_p`` (fraction-free elimination with pivot tracking)."""
+    m = field.element(_as_matrix(matrix)).copy()
+    n = m.shape[0]
+    if n != m.shape[1]:
+        raise FieldError(f"determinant of non-square matrix {m.shape}")
+    det = 1
+    for col in range(n):
+        pivot_candidates = np.nonzero(m[col:, col])[0]
+        if pivot_candidates.size == 0:
+            return 0
+        pivot_row = col + int(pivot_candidates[0])
+        if pivot_row != col:
+            m[[col, pivot_row]] = m[[pivot_row, col]]
+            det = (-det) % field.p
+        pivot = int(m[col, col])
+        det = det * pivot % field.p
+        inv_pivot = field.scalar_inv(pivot)
+        for other in range(col + 1, n):
+            if m[other, col] == 0:
+                continue
+            factor = field.mul(int(m[other, col]), inv_pivot)
+            m[other] = field.sub(m[other], field.mul(m[col], int(factor)))
+    return int(det)
+
+
+def vandermonde(field: PrimeField, points: np.ndarray, n_rows: int) -> np.ndarray:
+    """Vandermonde matrix ``V[i, j] = points[j]**i`` of shape ``(n_rows, len(points))``.
+
+    With distinct evaluation points, every ``n_rows x n_rows`` column
+    submatrix is invertible — exactly the MDS property DarKnight needs for
+    the collusion-tolerant noise block ``A2`` (any ``M`` colluding GPUs see
+    noise coefficients of full rank, so no linear combination cancels the
+    masks).
+    """
+    pts = field.element(points).ravel()
+    if len(set(int(v) for v in pts)) != pts.size:
+        raise FieldError("Vandermonde points must be distinct")
+    if n_rows < 1:
+        raise FieldError(f"need at least one row, got {n_rows}")
+    rows = [field.ones(pts.shape)]
+    for _ in range(1, n_rows):
+        rows.append(field.mul(rows[-1], pts))
+    return np.stack(rows, axis=0)
+
+
+def all_column_subsets_full_rank(
+    field: PrimeField, matrix: np.ndarray, subset_size: int, max_checks: int | None = 5000
+) -> bool:
+    """Verify every ``subset_size``-column subset of ``matrix`` has full rank.
+
+    Used by tests and by the strict coefficient generator to certify the
+    collusion-privacy condition of Section 4.5.  ``max_checks`` bounds the
+    combinatorial explosion for wide matrices; ``None`` means exhaustive.
+    """
+    from itertools import combinations
+
+    m = _as_matrix(matrix)
+    if subset_size > m.shape[0]:
+        raise FieldError(
+            f"subset size {subset_size} exceeds row count {m.shape[0]}; rank cannot be full"
+        )
+    checked = 0
+    for cols in combinations(range(m.shape[1]), subset_size):
+        if rank(field, m[:, cols]) != subset_size:
+            return False
+        checked += 1
+        if max_checks is not None and checked >= max_checks:
+            break
+    return True

@@ -1,0 +1,118 @@
+"""Multi-GPU dispatch: one share per device, gather results by share id.
+
+The cluster is deliberately thin — DarKnight's orchestration logic lives in
+:mod:`repro.runtime`; this class only owns the device pool, enforces the
+"each GPU receives at most one encoded data" rule, and stacks results in
+share order for the decoders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GpuError
+from repro.fieldmath import PrimeField
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.faults import HONEST, FaultInjector
+
+
+class GpuCluster:
+    """A pool of ``K'`` simulated accelerators.
+
+    Parameters
+    ----------
+    field:
+        Field shared by every device's masked kernels.
+    n_devices:
+        ``K'`` in the paper; must cover ``K + M (+1 for integrity)``.
+    fault_injectors:
+        Optional per-device adversaries (maps device id -> injector).
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        n_devices: int,
+        fault_injectors: dict[int, FaultInjector] | None = None,
+    ) -> None:
+        if n_devices < 2:
+            raise ConfigurationError(
+                f"DarKnight needs K' > 1 accelerators, got {n_devices}"
+            )
+        injectors = fault_injectors or {}
+        unknown = set(injectors) - set(range(n_devices))
+        if unknown:
+            raise ConfigurationError(f"fault injectors for unknown devices: {unknown}")
+        self.field = field
+        self.devices = [
+            SimulatedGpu(i, field, injectors.get(i, HONEST)) for i in range(n_devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, device_id: int) -> SimulatedGpu:
+        return self.devices[device_id]
+
+    # ------------------------------------------------------------------
+    # broadcast / scatter
+    # ------------------------------------------------------------------
+    def broadcast_weights(self, name: str, w: np.ndarray) -> None:
+        """Install public quantized weights on every device."""
+        for device in self.devices:
+            device.load_weights(name, w)
+
+    def scatter_shares(self, key: str, shares: np.ndarray) -> None:
+        """Send share ``j`` to device ``j`` (one share per GPU, Section 3.1)."""
+        shares = np.asarray(shares)
+        if shares.shape[0] > len(self.devices):
+            raise GpuError(
+                f"{shares.shape[0]} shares but only {len(self.devices)} devices;"
+                " raise K' or lower K/M"
+            )
+        for j in range(shares.shape[0]):
+            self.devices[j].receive_share(key, shares[j])
+
+    def drop_shares(self, key: str) -> None:
+        """Free a stored share key on all devices."""
+        for device in self.devices:
+            device.drop_share(key)
+
+    # ------------------------------------------------------------------
+    # fan-out execution
+    # ------------------------------------------------------------------
+    def map_shares(
+        self, n_shares: int, op: Callable[[SimulatedGpu], np.ndarray]
+    ) -> np.ndarray:
+        """Run ``op`` on devices ``0..n_shares-1`` and stack by share id."""
+        if n_shares > len(self.devices):
+            raise GpuError(
+                f"need {n_shares} devices, cluster has {len(self.devices)}"
+            )
+        return np.stack([op(self.devices[j]) for j in range(n_shares)])
+
+    def map_with_rows(
+        self,
+        n_shares: int,
+        rows: Sequence[np.ndarray],
+        op: Callable[[SimulatedGpu, np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Like :meth:`map_shares` but hands device ``j`` its row (e.g. ``B[j]``)."""
+        if len(rows) < n_shares:
+            raise GpuError(f"need {n_shares} rows, got {len(rows)}")
+        return np.stack(
+            [op(self.devices[j], rows[j]) for j in range(n_shares)]
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def total_mac_ops(self) -> int:
+        """Sum of multiply-accumulate ops across devices."""
+        return sum(d.ledger.mac_ops for d in self.devices)
+
+    def total_bytes_moved(self) -> int:
+        """Bytes received + sent across all devices."""
+        return sum(d.ledger.bytes_received + d.ledger.bytes_sent for d in self.devices)

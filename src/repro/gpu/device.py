@@ -1,0 +1,166 @@
+"""A single simulated accelerator holding exactly one masked share.
+
+The device executes field bilinear kernels on whatever the enclave sends it,
+keeps the encoded forward activations resident for the backward pass (the
+paper's "Encoded Data Storage During Forward Pass" optimisation in
+Section 6), counts bytes and multiply-accumulate operations for the
+performance model, and routes every output through its fault injector so a
+malicious device can be simulated without touching honest code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.errors import GpuError
+from repro.fieldmath import PrimeField
+from repro.gpu.faults import HONEST, FaultInjector
+from repro.gpu.kernels import FieldKernels, FloatKernels
+
+
+@dataclass
+class GpuLedger:
+    """Operation/traffic counters for one device."""
+
+    mac_ops: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    kernel_calls: int = 0
+    ops_by_name: dict = dataclass_field(default_factory=dict)
+
+    def record(self, op_name: str, macs: int, bytes_out: int) -> None:
+        """Account one kernel invocation."""
+        self.kernel_calls += 1
+        self.mac_ops += macs
+        self.bytes_sent += bytes_out
+        self.ops_by_name[op_name] = self.ops_by_name.get(op_name, 0) + 1
+
+
+class SimulatedGpu:
+    """One untrusted accelerator in the DarKnight cluster.
+
+    Parameters
+    ----------
+    device_id:
+        Index in the cluster == the share index this GPU receives.
+    field:
+        Prime field for masked kernels.
+    fault_injector:
+        Adversarial behaviour; default honest.
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        field: PrimeField,
+        fault_injector: FaultInjector = HONEST,
+    ) -> None:
+        self.device_id = device_id
+        self.field = field
+        self.kernels = FieldKernels(field)
+        self.float_kernels = FloatKernels()
+        self.faults = fault_injector
+        self.ledger = GpuLedger()
+        #: Weights are public in DarKnight's threat model and live on-device.
+        self.weights: dict[str, np.ndarray] = {}
+        #: Encoded activations kept for backward (Section 6 storage optimisation).
+        self.stored_shares: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def load_weights(self, name: str, w: np.ndarray) -> None:
+        """Install (public, quantized) model weights under ``name``."""
+        self.weights[name] = np.asarray(w)
+        self.ledger.bytes_received += self.weights[name].nbytes
+
+    def receive_share(self, key: str, share: np.ndarray) -> None:
+        """Accept one masked share from the enclave and keep it resident."""
+        arr = np.asarray(share, dtype=np.int64)
+        self.stored_shares[key] = arr
+        self.ledger.bytes_received += arr.nbytes
+
+    def stored_share(self, key: str) -> np.ndarray:
+        """Look up a share stored during the forward pass."""
+        try:
+            return self.stored_shares[key]
+        except KeyError as exc:
+            raise GpuError(
+                f"GPU {self.device_id} holds no share under key {key!r}"
+            ) from exc
+
+    def drop_share(self, key: str) -> None:
+        """Free a stored share (end of a virtual batch)."""
+        self.stored_shares.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # masked kernels
+    # ------------------------------------------------------------------
+    def _emit(self, op_name: str, result: np.ndarray, macs: int) -> np.ndarray:
+        result = self.faults.corrupt(result, self.device_id, op_name)
+        self.ledger.record(op_name, macs, int(np.asarray(result).nbytes))
+        return result
+
+    def dense_forward(self, share_key: str, weight_name: str) -> np.ndarray:
+        """``x̄ @ W`` on the stored share."""
+        x = self.stored_share(share_key)
+        w = self.weights[weight_name]
+        out = self.kernels.dense(x, w)
+        return self._emit("dense_forward", out, macs=int(x.size) * int(w.shape[1]))
+
+    def conv2d_forward(
+        self, share_key: str, weight_name: str, stride: int = 1, pad: int = 0
+    ) -> np.ndarray:
+        """Convolution of the stored share with public weights."""
+        x = self.stored_share(share_key)
+        w = self.weights[weight_name]
+        out = self.kernels.conv2d(x, w, stride, pad)
+        macs = int(out.size) * int(w.shape[1] * w.shape[2] * w.shape[3])
+        return self._emit("conv2d_forward", out, macs=macs)
+
+    def backward_equation_dense(
+        self, share_key: str, combined_delta: np.ndarray
+    ) -> np.ndarray:
+        """``Eq_j = x̄(j) ⊗ δ̄(j)`` for a dense layer."""
+        x = self.stored_share(share_key)
+        out = self.kernels.dense_grad_w(x, combined_delta)
+        return self._emit(
+            "backward_equation_dense", out, macs=int(x.size) * int(combined_delta.size)
+        )
+
+    def backward_equation_conv(
+        self,
+        share_key: str,
+        combined_delta: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> np.ndarray:
+        """``Eq_j = <δ̄(j), x̄(j)>`` for conv weights."""
+        x = self.stored_share(share_key)
+        out = self.kernels.conv2d_grad_w(x, combined_delta, kh, kw, stride, pad)
+        macs = int(combined_delta.size) * int(kh * kw * x.shape[0])
+        return self._emit("backward_equation_conv", out, macs=macs)
+
+    def combine_deltas(self, deltas: np.ndarray, beta_row: np.ndarray) -> np.ndarray:
+        """``δ̄(j) = Σ_i B[j, i]·δ(i)`` — done GPU-side with the public ``B``."""
+        out = self.kernels.scale_accumulate(deltas, beta_row)
+        return self._emit("combine_deltas", out, macs=int(deltas.size))
+
+    # ------------------------------------------------------------------
+    # non-private kernels (δ propagation / GPU-only baseline)
+    # ------------------------------------------------------------------
+    def float_conv2d_grad_x(self, w, delta, x_shape, stride=1, pad=0) -> np.ndarray:
+        """Unencoded ``δ`` propagation (carries no input data; Section 4.2)."""
+        out = self.float_kernels.conv2d_grad_x(w, delta, x_shape, stride, pad)
+        self.ledger.record("float_conv2d_grad_x", int(delta.size) * int(w.shape[1]), out.nbytes)
+        return out
+
+    def float_matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Raw float matmul for the non-private baseline."""
+        out = self.float_kernels.matmul(a, b)
+        self.ledger.record("float_matmul", int(a.size) * int(b.shape[-1]), out.nbytes)
+        return out

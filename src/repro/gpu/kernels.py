@@ -1,0 +1,103 @@
+"""Linear-operator kernels executed by the simulated accelerators.
+
+Two kernel sets share all shape logic with :mod:`repro.nn.functional`:
+
+* :class:`FieldKernels` — the masked path: every op is a bilinear form over
+  ``F_p`` computed with overflow-safe chunked reduction.  These are the only
+  operations DarKnight ever offloads on private data.
+* :class:`FloatKernels` — the raw float path used by the non-private GPU
+  baseline and by gradient-of-loss ops that the paper offloads unencoded
+  (``δ`` back-propagation carries no input information).
+
+Share tensors are per-sample (no batch axis): each GPU holds exactly one
+masked share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fieldmath import PrimeField, field_matmul
+from repro.nn import functional as F
+
+
+class FieldKernels:
+    """Bilinear ops over ``F_p`` on single-share tensors."""
+
+    def __init__(self, field: PrimeField) -> None:
+        self.field = field
+        self._matmul = lambda a, b: field_matmul(field, a, b)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Plain field matrix product."""
+        return self._matmul(a, b)
+
+    def dense(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``x @ w`` for a single share row ``x`` of shape ``(in_features,)``."""
+        return self._matmul(x.reshape(1, -1), w).reshape(-1)
+
+    def dense_grad_w(self, x: np.ndarray, delta: np.ndarray) -> np.ndarray:
+        """Outer product ``x ⊗ delta`` — the dense-layer ``<δ, x>`` bilinear."""
+        return self._matmul(x.reshape(-1, 1), delta.reshape(1, -1))
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int = 1, pad: int = 0
+    ) -> np.ndarray:
+        """Convolution of one share ``(C, H, W)`` with weights ``(F, C, KH, KW)``."""
+        out = F.conv2d_via_matmul(x[None], w, self._matmul, stride, pad)
+        return out[0]
+
+    def conv2d_grad_w(
+        self,
+        x: np.ndarray,
+        delta: np.ndarray,
+        kh: int,
+        kw: int,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> np.ndarray:
+        """``<δ, x>`` for conv weights on one share; result ``(F, C, KH, KW)``."""
+        raw = F.conv2d_grad_w(x[None], delta[None], kh, kw, self._matmul, stride, pad)
+        return self.field.element(raw)
+
+    def conv2d_grad_x(
+        self,
+        w: np.ndarray,
+        delta: np.ndarray,
+        x_shape: tuple[int, int, int],
+        stride: int = 1,
+        pad: int = 0,
+    ) -> np.ndarray:
+        """Input gradient of conv on one share (field path, rarely needed)."""
+        out = F.conv2d_grad_x(w, delta[None], (1,) + tuple(x_shape), self._matmul, stride, pad)
+        return self.field.element(out[0])
+
+    def scale_accumulate(self, tensors: np.ndarray, scalars: np.ndarray) -> np.ndarray:
+        """``Σ_i scalars[i]·tensors[i]`` over the field (the ``Σ β·δ`` combine)."""
+        flat = np.asarray(tensors, dtype=np.int64).reshape(tensors.shape[0], -1)
+        row = np.asarray(scalars, dtype=np.int64).reshape(1, -1)
+        return self._matmul(row, flat).reshape(tensors.shape[1:])
+
+
+class FloatKernels:
+    """Float64 versions of the same operators (non-private path)."""
+
+    @staticmethod
+    def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Plain float matrix product."""
+        return np.matmul(a, b)
+
+    @staticmethod
+    def dense(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Row-vector times weight matrix."""
+        return x.reshape(1, -1) @ w
+
+    @staticmethod
+    def conv2d(x: np.ndarray, w: np.ndarray, stride: int = 1, pad: int = 0) -> np.ndarray:
+        """Batched float convolution."""
+        return F.conv2d_via_matmul(x, w, np.matmul, stride, pad)
+
+    @staticmethod
+    def conv2d_grad_x(w, delta, x_shape, stride: int = 1, pad: int = 0) -> np.ndarray:
+        """Batched input-gradient (the unencoded ``δ`` propagation offload)."""
+        return F.conv2d_grad_x(w, delta, x_shape, np.matmul, stride, pad)

@@ -1,0 +1,147 @@
+"""Backward-pass masking: gradient combination and aggregate-update decode.
+
+Section 4.2 of the paper.  Weight updates need ``Σ_i <δ(i), x(i)>`` but the
+``x(i)`` live on the GPUs only in masked form.  DarKnight's insight: training
+only needs the *batch-aggregate* update, so each GPU ``j`` computes
+
+    Eq_j = < Σ_i B[j, i]·δ(i),  x̄(j) >                    (Equation 4/11)
+
+on its single share, and — because ``Bᵀ·Γ·Aᵀ = [I | 0]`` — the enclave
+decodes the aggregate exactly as ``Σ_j γ_j·Eq_j`` (Equation 6, proved via the
+trace identity in Section 4.3).  Individual per-input gradients are never
+materialised anywhere, which doubles as secure aggregation.
+
+``B`` is public: combining public gradients ``δ(i)`` with public scalars has
+no privacy implication (the sensitive factor is ``x̄(j)``, already masked).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DecodingError, EncodingError
+from repro.fieldmath import field_matmul
+from repro.masking.coefficients import CoefficientSet
+
+#: A bilinear operator ``(delta, x) -> grad_w`` in the field, e.g. the
+#: outer product for dense layers or a correlation for convolutions.
+BilinearOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class BackwardEncoder:
+    """Combines per-input gradients with the public ``B`` coefficients.
+
+    In the real system the GPUs perform this combination themselves (``B`` is
+    shipped to them); the simulator centralises it here so both the GPU
+    device and tests share one implementation.
+    """
+
+    def __init__(self, coefficients: CoefficientSet) -> None:
+        self.coefficients = coefficients
+
+    def combine_deltas(self, deltas: np.ndarray, share_index: int) -> np.ndarray:
+        """``δ̄(j) = Σ_i B[j, i]·δ(i)`` for one share ``j``."""
+        coeffs = self.coefficients
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if deltas.shape[0] != coeffs.k:
+            raise EncodingError(
+                f"expected {coeffs.k} per-input gradients, got {deltas.shape[0]}"
+            )
+        if not (0 <= share_index < coeffs.n_shares):
+            raise EncodingError(f"share index {share_index} out of range")
+        flat = deltas.reshape(coeffs.k, -1)
+        row = coeffs.b[share_index].reshape(1, coeffs.k)
+        combined = field_matmul(coeffs.field, row, flat)
+        return combined.reshape(deltas.shape[1:])
+
+    def combine_all(self, deltas: np.ndarray) -> np.ndarray:
+        """All combined gradients at once, shape ``(n_shares, *delta_shape)``."""
+        coeffs = self.coefficients
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if deltas.shape[0] != coeffs.k:
+            raise EncodingError(
+                f"expected {coeffs.k} per-input gradients, got {deltas.shape[0]}"
+            )
+        flat = deltas.reshape(coeffs.k, -1)
+        combined = field_matmul(coeffs.field, coeffs.b, flat)
+        return combined.reshape((coeffs.n_shares,) + deltas.shape[1:])
+
+
+class BackwardDecoder:
+    """Recovers the aggregate weight update from the GPUs' ``Eq_j`` values."""
+
+    def __init__(self, coefficients: CoefficientSet) -> None:
+        self.coefficients = coefficients
+
+    def decode(self, equations: np.ndarray) -> np.ndarray:
+        """``Σ_j γ_j·Eq_j`` over the field — the (un-averaged) batch update.
+
+        Parameters
+        ----------
+        equations:
+            Field array ``(n_shares, *grad_shape)`` of per-GPU ``Eq_j``
+            results, indexed by share id.  Shares outside the coefficient
+            set's primary subset have zero ``B`` rows, so they contribute
+            nothing (their ``Eq_j`` is redundancy for integrity).
+
+        Returns
+        -------
+        The field-encoded ``Σ_i <δ(i), x(i)>``; divide by ``K`` *after*
+        dequantization (the ``1/K`` average lives outside the field).
+        """
+        coeffs = self.coefficients
+        equations = np.asarray(equations, dtype=np.int64)
+        if equations.shape[0] != coeffs.n_shares:
+            raise DecodingError(
+                f"expected {coeffs.n_shares} equations, got {equations.shape[0]}"
+            )
+        flat = equations.reshape(coeffs.n_shares, -1)
+        gamma_row = coeffs.gamma.reshape(1, coeffs.n_shares)
+        aggregate = field_matmul(coeffs.field, gamma_row, flat)
+        return aggregate.reshape(equations.shape[1:])
+
+    def decode_with_matrices(
+        self, equations: np.ndarray, b: np.ndarray, gamma: np.ndarray
+    ) -> np.ndarray:
+        """Decode using an alternative ``(B, Gamma)`` pair (integrity path).
+
+        The ``B`` argument is accepted for interface symmetry with
+        :meth:`CoefficientSet.backward_matrices_for_subset`; only ``gamma``
+        weights enter the decode (``B`` acted GPU-side).
+        """
+        del b  # combination already happened GPU-side under this B
+        coeffs = self.coefficients
+        equations = np.asarray(equations, dtype=np.int64)
+        if equations.shape[0] != coeffs.n_shares:
+            raise DecodingError(
+                f"expected {coeffs.n_shares} equations, got {equations.shape[0]}"
+            )
+        flat = equations.reshape(coeffs.n_shares, -1)
+        gamma_row = np.asarray(gamma, dtype=np.int64).reshape(1, coeffs.n_shares)
+        aggregate = field_matmul(coeffs.field, gamma_row, flat)
+        return aggregate.reshape(equations.shape[1:])
+
+
+def reference_aggregate(
+    field, deltas: np.ndarray, inputs: np.ndarray, op: BilinearOp
+) -> np.ndarray:
+    """Unmasked ``Σ_i <δ(i), x(i)>`` — the ground truth the decode must equal.
+
+    Used by tests and by the SGX-only baseline.  ``op`` is the same bilinear
+    operator the GPUs apply to masked operands.
+    """
+    deltas = np.asarray(deltas, dtype=np.int64)
+    inputs = np.asarray(inputs, dtype=np.int64)
+    if deltas.shape[0] != inputs.shape[0]:
+        raise EncodingError(
+            f"gradient count {deltas.shape[0]} != input count {inputs.shape[0]}"
+        )
+    total = None
+    for delta, x in zip(deltas, inputs):
+        term = op(delta, x)
+        total = term if total is None else field.add(total, term)
+    if total is None:
+        raise EncodingError("cannot aggregate an empty batch")
+    return total

@@ -1,0 +1,153 @@
+"""Forward-pass masking: encode a virtual batch, decode GPU results.
+
+Section 4.1 of the paper.  Given ``K`` quantized inputs ``x(1)..x(K)`` (field
+elements) the enclave computes ``n_shares`` masked shares
+
+    x̄(j) = Σ_i A[i, j]·x(i) + Σ_m A[K+m, j]·r(m)          (Equation 1/10)
+
+and sends exactly one share to each GPU.  Because the offloaded operator
+``<W, ·>`` is bilinear, the stacked GPU outputs satisfy
+``Ȳ = <W, [X R]>·A``, so the enclave recovers ``[Y | W·R] = Ȳ_J · A_J^{-1}``
+from any invertible ``(K+M)``-column subset ``J`` and simply drops the
+``W·R`` columns (the paper: "we extract W·r, but that value is just
+dropped" — the 1/K extra compute that buys perfect privacy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodingError, EncodingError
+from repro.fieldmath import FieldRng, field_matmul
+from repro.masking.coefficients import CoefficientSet
+
+
+@dataclass(frozen=True)
+class EncodedBatch:
+    """The masked shares for one virtual batch.
+
+    Attributes
+    ----------
+    shares:
+        Field array of shape ``(n_shares, *feature_shape)``; ``shares[j]``
+        goes to GPU ``j`` and — per the privacy theorem — is marginally
+        uniform over the field.
+    noise:
+        The ``M`` noise vectors (shape ``(m, *feature_shape)``).  Kept only
+        inside the enclave; exposed here for tests and analysis.
+    coefficients:
+        The secret coefficient set that produced the shares.
+    """
+
+    shares: np.ndarray
+    noise: np.ndarray
+    coefficients: CoefficientSet
+
+    @property
+    def feature_shape(self) -> tuple[int, ...]:
+        """Per-sample tensor shape (whatever the layer consumes)."""
+        return tuple(self.shares.shape[1:])
+
+    def share_for_gpu(self, gpu_index: int) -> np.ndarray:
+        """The single share GPU ``gpu_index`` is allowed to see."""
+        return self.shares[gpu_index]
+
+
+class ForwardEncoder:
+    """Encodes virtual batches under a given coefficient set."""
+
+    def __init__(self, coefficients: CoefficientSet, rng: FieldRng) -> None:
+        if coefficients.field is not rng.field and coefficients.field.p != rng.field.p:
+            raise EncodingError("coefficient set and RNG use different fields")
+        self.coefficients = coefficients
+        self._rng = rng
+
+    def encode(self, inputs: np.ndarray, noise: np.ndarray | None = None) -> EncodedBatch:
+        """Mask ``inputs`` of shape ``(K, *feature_shape)``.
+
+        Parameters
+        ----------
+        inputs:
+            Canonical field elements, one row per real input.
+        noise:
+            Optional pre-drawn noise ``(M, *feature_shape)`` — used by tests
+            for determinism; normally drawn fresh per batch as the paper
+            requires.
+        """
+        coeffs = self.coefficients
+        field = coeffs.field
+        inputs = np.asarray(inputs, dtype=np.int64)
+        if inputs.shape[0] != coeffs.k:
+            raise EncodingError(
+                f"expected {coeffs.k} inputs per virtual batch, got {inputs.shape[0]}"
+            )
+        if not field.is_canonical(inputs):
+            raise EncodingError("inputs must be canonical field elements; quantize first")
+        feature_shape = inputs.shape[1:]
+        if noise is None:
+            noise = self._rng.uniform((coeffs.m,) + feature_shape)
+        else:
+            noise = np.asarray(noise, dtype=np.int64)
+            if noise.shape != (coeffs.m,) + feature_shape:
+                raise EncodingError(
+                    f"noise shape {noise.shape} does not match ({coeffs.m},"
+                    f" *{feature_shape})"
+                )
+            if not field.is_canonical(noise):
+                raise EncodingError("noise must be canonical field elements")
+
+        # Flatten features, stack sources as columns: [X R] is (features, k+m).
+        sources = np.concatenate([inputs, noise], axis=0)
+        flat = sources.reshape(coeffs.n_sources, -1).T
+        shares_flat = field_matmul(field, flat, coeffs.a)  # (features, n_shares)
+        shares = shares_flat.T.reshape((coeffs.n_shares,) + feature_shape)
+        return EncodedBatch(shares=shares, noise=noise, coefficients=coeffs)
+
+
+class ForwardDecoder:
+    """Recovers true linear-op outputs from masked GPU results."""
+
+    def __init__(self, coefficients: CoefficientSet) -> None:
+        self.coefficients = coefficients
+
+    def decode(
+        self,
+        gpu_outputs: np.ndarray,
+        subset: tuple[int, ...] | None = None,
+        return_noise_product: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Decode stacked GPU outputs back to the ``K`` true results.
+
+        Parameters
+        ----------
+        gpu_outputs:
+            Field array ``(n_shares, *out_shape)`` — ``gpu_outputs[j]`` is
+            GPU ``j``'s result on share ``j``.  When a subset is given, rows
+            must still be indexed by absolute share id (the decoder picks the
+            subset's rows itself).
+        subset:
+            Which ``k+m`` shares to decode from (default: primary subset).
+        return_noise_product:
+            Also return the recovered ``<W, r>`` columns; integrity checks
+            compare these across subsets too.
+        """
+        coeffs = self.coefficients
+        field = coeffs.field
+        outputs = np.asarray(gpu_outputs, dtype=np.int64)
+        if outputs.shape[0] != coeffs.n_shares:
+            raise DecodingError(
+                f"expected outputs from all {coeffs.n_shares} shares (indexed by"
+                f" share id), got {outputs.shape[0]} rows"
+            )
+        subset = coeffs.primary_subset if subset is None else tuple(subset)
+        decode_matrix = coeffs.decoding_matrix(subset)
+        out_shape = outputs.shape[1:]
+        selected = outputs[list(subset)].reshape(len(subset), -1).T
+        recovered = field_matmul(field, selected, decode_matrix)  # (features, k+m)
+        recovered = recovered.T.reshape((coeffs.n_sources,) + out_shape)
+        results = recovered[: coeffs.k]
+        if return_noise_product:
+            return results, recovered[coeffs.k :]
+        return results

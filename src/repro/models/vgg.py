@@ -1,0 +1,82 @@
+"""VGG16: full-size spec (op counting) and a runnable Mini variant.
+
+VGG16 [Simonyan & Zisserman 2014] is the paper's headline benchmark — 138 M
+parameters, almost all time in big dense convolutions, no normalisation
+layers.  That profile is why DarKnight's GPU offload shines on it (Table 1,
+Fig. 5) and why it needs the dynamic max-abs quantization (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.specs import ModelSpec, SpecBuilder
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+#: Channel plan per block: (n_convs, channels).
+_VGG16_BLOCKS = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+
+
+def vgg16_spec(input_size: int = 224, n_classes: int = 1000) -> ModelSpec:
+    """The exact VGG16 layer inventory at the given input resolution.
+
+    At 224x224 this reports ~138.4M parameters and ~15.5 GMACs forward,
+    matching the published architecture.
+    """
+    b = SpecBuilder("VGG16", (3, input_size, input_size))
+    for n_convs, channels in _VGG16_BLOCKS:
+        for _ in range(n_convs):
+            b.conv(channels, kernel=3, stride=1, pad=1).relu()
+        b.maxpool(2)
+    b.dense(4096).relu()
+    b.dense(4096).relu()
+    b.dense(n_classes)
+    b.softmax()
+    return b.build()
+
+
+def build_mini_vgg(
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    n_classes: int = 10,
+    rng: np.random.Generator | None = None,
+    width: int = 16,
+) -> Sequential:
+    """A laptop-scale VGG-family network (conv stacks + maxpool, no BN).
+
+    Structurally faithful to VGG — plain 3x3 conv stacks, ReLU, maxpool,
+    dense head, *no* normalisation layers — so it exercises exactly the
+    DarKnight code paths full VGG16 would (including the dynamic
+    normalisation requirement).  Used for the Fig. 4 accuracy experiments.
+    """
+    rng = rng or np.random.default_rng()
+    c, h, w = input_shape
+    layers = [
+        Conv2D(c, width, 3, 1, 1, rng=rng),
+        ReLU(),
+        Conv2D(width, width, 3, 1, 1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(width, 2 * width, 3, 1, 1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(2 * width * (h // 4) * (w // 4), 4 * width, rng=rng),
+        ReLU(),
+        Dense(4 * width, n_classes, rng=rng),
+    ]
+    return Sequential(layers, input_shape)
+
+
+def mini_vgg_spec(
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    n_classes: int = 10,
+    width: int = 16,
+) -> ModelSpec:
+    """Counted spec of :func:`build_mini_vgg` (keeps perf + runnable in sync)."""
+    c, h, w = input_shape
+    b = SpecBuilder("MiniVGG", input_shape)
+    b.conv(width).relu().conv(width).relu().maxpool(2)
+    b.conv(2 * width).relu().maxpool(2)
+    b.dense(4 * width).relu().dense(n_classes).softmax()
+    del c, h, w
+    return b.build()

@@ -1,0 +1,44 @@
+"""From-scratch numpy DNN substrate with a pluggable linear backend."""
+
+from repro.nn import functional
+from repro.nn.backends import LinearBackend, PlainBackend
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+)
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optimizer import SGD, StepDecaySchedule
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "functional",
+    "LinearBackend",
+    "PlainBackend",
+    "Layer",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Dense",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool",
+    "Flatten",
+    "BatchNorm2D",
+    "ResidualBlock",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "SGD",
+    "StepDecaySchedule",
+    "save_checkpoint",
+    "load_checkpoint",
+]

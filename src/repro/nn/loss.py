@@ -1,0 +1,43 @@
+"""Loss functions (softmax cross-entropy is all the paper's models need)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import functional as F
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + NLL with the fused, numerically-stable gradient."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of integer ``labels`` under ``logits``."""
+        labels = np.asarray(labels)
+        if logits.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"batch mismatch: {logits.shape[0]} logits vs {labels.shape[0]} labels"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ConfigurationError("label out of range")
+        probs = F.softmax(logits)
+        self._probs, self._labels = probs, labels
+        return F.cross_entropy(probs, labels)
+
+    def backward(self) -> np.ndarray:
+        """Gradient w.r.t. logits: ``(softmax - onehot) / N``."""
+        if self._probs is None or self._labels is None:
+            raise ConfigurationError("backward before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+    @staticmethod
+    def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy."""
+        return float(np.mean(np.argmax(logits, axis=1) == np.asarray(labels)))

@@ -1,0 +1,118 @@
+"""Sequential network container with backend-parameterised execution."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.backends import LinearBackend, PlainBackend
+from repro.nn.layers import Layer, ResidualBlock
+
+
+class Sequential:
+    """A stack of layers sharing one linear backend per call.
+
+    Parameters
+    ----------
+    layers:
+        Layers applied in order.
+    input_shape:
+        Per-sample input shape, e.g. ``(3, 32, 32)``; used to validate the
+        stack eagerly so shape bugs surface at construction.
+    """
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...]) -> None:
+        if not layers:
+            raise ConfigurationError("network needs at least one layer")
+        self.layers = layers
+        self.input_shape = tuple(input_shape)
+        shape = self.input_shape
+        self._shapes = [shape]
+        for layer in layers:
+            shape = layer.output_shape(shape)
+            self._shapes.append(shape)
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Per-sample output shape."""
+        return self._shapes[-1]
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, ...]]:
+        """Per-sample shape before each layer (and after the last)."""
+        return list(self._shapes)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        backend: LinearBackend | None = None,
+        training: bool = True,
+    ) -> np.ndarray:
+        """Run the network; ``backend`` defaults to plain float."""
+        backend = backend or PlainBackend()
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ConfigurationError(
+                f"input shape {tuple(x.shape[1:])} != expected {self.input_shape}"
+            )
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, backend, training)
+        return out
+
+    def backward(self, grad_out: np.ndarray, backend: LinearBackend | None = None):
+        """Back-propagate, filling every layer's ``grads``."""
+        backend = backend or PlainBackend()
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad, backend)
+        return grad
+
+    def predict(self, x: np.ndarray, backend: LinearBackend | None = None) -> np.ndarray:
+        """Inference-mode forward (no caches, BN uses running stats)."""
+        return self.forward(x, backend, training=False)
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    def _walk_layers(self) -> Iterator[Layer]:
+        stack = list(self.layers)
+        while stack:
+            layer = stack.pop(0)
+            yield layer
+            if isinstance(layer, ResidualBlock):
+                stack = list(layer._walk()) + stack
+
+    def parameters(self) -> Iterator[tuple[Layer, str, np.ndarray]]:
+        """Yield ``(layer, param_name, array)`` for every trainable tensor."""
+        for layer in self._walk_layers():
+            for name, param in layer.params.items():
+                yield layer, name, param
+
+    @property
+    def n_params(self) -> int:
+        """Total trainable scalars."""
+        return sum(p.size for _, _, p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters keyed ``layer_name/param_name``."""
+        return {
+            f"{layer.name}/{name}": param.copy()
+            for layer, name, param in self.parameters()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict`."""
+        for layer, name, param in self.parameters():
+            key = f"{layer.name}/{name}"
+            if key not in state:
+                raise ConfigurationError(f"missing parameter {key!r} in state dict")
+            if state[key].shape != param.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for {key!r}: {state[key].shape} vs {param.shape}"
+                )
+            param[...] = state[key]

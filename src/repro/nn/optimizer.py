@@ -1,0 +1,76 @@
+"""Optimisers: plain/momentum SGD, matching the paper's training recipe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The paper trains with "the well known SGD process" (Section 4); we add
+    the standard momentum/decay knobs every practical run uses.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight decay cannot be negative, got {weight_decay}")
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the gradients stored in the layers."""
+        for layer, name, param in self.network.parameters():
+            if name not in layer.grads:
+                continue
+            grad = layer.grads[name]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            if self.momentum:
+                key = id(param)
+                vel = self._velocity.get(key)
+                vel = self.momentum * vel + grad if vel is not None else grad
+                self._velocity[key] = vel
+                grad = vel
+            param -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        """Clear all stored gradients."""
+        for layer, name, _ in self.network.parameters():
+            layer.grads.pop(name, None)
+
+
+class StepDecaySchedule:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, optimizer: SGD, every: int, factor: float = 0.5) -> None:
+        if every < 1:
+            raise ConfigurationError(f"'every' must be >= 1, got {every}")
+        if not 0 < factor <= 1:
+            raise ConfigurationError(f"factor must be in (0, 1], got {factor}")
+        self.optimizer = optimizer
+        self.every = every
+        self.factor = factor
+        self._epochs_seen = 0
+
+    def epoch_end(self) -> None:
+        """Advance one epoch, decaying when due."""
+        self._epochs_seen += 1
+        if self._epochs_seen % self.every == 0:
+            self.optimizer.lr *= self.factor

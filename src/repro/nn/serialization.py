@@ -1,0 +1,68 @@
+"""Model checkpointing: save/load parameters and BN running statistics.
+
+A downstream user training privately for hours needs checkpoints; this
+serialises everything a :class:`~repro.nn.network.Sequential` needs to
+resume — trainable parameters plus BatchNorm running statistics — into a
+single ``.npz`` archive keyed consistently with ``state_dict``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import BatchNorm2D
+from repro.nn.network import Sequential
+
+_RUNNING_PREFIX = "__running__/"
+
+
+def _running_stats(network: Sequential) -> dict[str, np.ndarray]:
+    stats = {}
+    for layer in network._walk_layers():
+        if isinstance(layer, BatchNorm2D):
+            stats[f"{_RUNNING_PREFIX}{layer.name}/mean"] = layer.running_mean
+            stats[f"{_RUNNING_PREFIX}{layer.name}/var"] = layer.running_var
+    return stats
+
+
+def save_checkpoint(network: Sequential, path: str | Path) -> Path:
+    """Write parameters + BN statistics to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = dict(network.state_dict())
+    payload.update({k: v.copy() for k, v in _running_stats(network).items()})
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(network: Sequential, path: str | Path) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint`.
+
+    Raises
+    ------
+    ConfigurationError
+        On missing file, missing keys, or shape mismatches — a checkpoint
+        from a different architecture must fail loudly, not silently skip.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint {path} does not exist")
+    with np.load(path) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    params = {k: v for k, v in stored.items() if not k.startswith(_RUNNING_PREFIX)}
+    network.load_state_dict(params)
+    running = _running_stats(network)
+    for key, target in running.items():
+        if key not in stored:
+            raise ConfigurationError(f"checkpoint missing BN statistics {key!r}")
+        if stored[key].shape != target.shape:
+            raise ConfigurationError(
+                f"BN statistics {key!r} shape {stored[key].shape} !="
+                f" {target.shape}"
+            )
+        target[...] = stored[key]

@@ -1,0 +1,84 @@
+"""Re-calibration utilities for the cost model's device constants.
+
+The shipped :data:`~repro.perf.devices.DEFAULT_SYSTEM` is calibrated to the
+paper's Table 1.  Anyone reproducing on different hardware claims (or
+checking our procedure) can re-derive an :class:`~repro.perf.devices.SgxProfile`
+from a Table-1-shaped measurement with :func:`calibrate_sgx_from_table1`:
+given target GPU-over-SGX ratios and a fixed GPU profile, the SGX op rates
+are solved in closed form — the ratios are rate quotients, independent of
+the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.perf.devices import GpuProfile, SgxProfile
+
+
+@dataclass(frozen=True)
+class Table1Targets:
+    """GPU-over-SGX speedups per op class and direction (Table 1's layout)."""
+
+    linear_forward: float = 126.85
+    linear_backward: float = 149.13
+    maxpool_forward: float = 11.86
+    maxpool_backward: float = 5.47
+    relu_forward: float = 119.60
+    relu_backward: float = 6.59
+
+    def __post_init__(self) -> None:
+        for name in (
+            "linear_forward",
+            "linear_backward",
+            "maxpool_forward",
+            "maxpool_backward",
+            "relu_forward",
+            "relu_backward",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"ratio {name} must be positive")
+
+
+def calibrate_sgx_from_table1(
+    targets: Table1Targets,
+    gpu: GpuProfile | None = None,
+    base: SgxProfile | None = None,
+) -> tuple[SgxProfile, GpuProfile]:
+    """Solve device rates so the target ratios emerge exactly.
+
+    The SGX linear rate is pinned by the *forward* ratio; the backward
+    linear ratio is then absorbed into the GPU's backward rate (SGX linear
+    throughput is direction-independent, as in the shipped calibration).
+    Non-linear rates divide the GPU elementwise rate by each target.
+    """
+    gpu = gpu or GpuProfile()
+    base = base or SgxProfile()
+    sgx_linear = gpu.linear_macs_per_s_forward / targets.linear_forward
+    gpu_backward = sgx_linear * targets.linear_backward
+    sgx = replace(
+        base,
+        linear_macs_per_s=sgx_linear,
+        relu_ops_per_s_paged=gpu.elementwise_ops_per_s / targets.relu_forward,
+        relu_ops_per_s_resident=gpu.elementwise_ops_per_s / targets.relu_backward,
+        pool_ops_per_s_paged=gpu.elementwise_ops_per_s / targets.maxpool_forward,
+        pool_ops_per_s_resident=gpu.elementwise_ops_per_s / targets.maxpool_backward,
+    )
+    gpu_out = replace(gpu, linear_macs_per_s_backward=gpu_backward)
+    return sgx, gpu_out
+
+
+def verify_calibration(
+    sgx: SgxProfile, gpu: GpuProfile, targets: Table1Targets, tolerance: float = 1e-9
+) -> bool:
+    """Check that a profile pair hits every Table-1 target ratio."""
+    checks = [
+        (gpu.linear_macs_per_s_forward / sgx.linear_macs_per_s, targets.linear_forward),
+        (gpu.linear_macs_per_s_backward / sgx.linear_macs_per_s, targets.linear_backward),
+        (gpu.elementwise_ops_per_s / sgx.relu_ops_per_s_paged, targets.relu_forward),
+        (gpu.elementwise_ops_per_s / sgx.relu_ops_per_s_resident, targets.relu_backward),
+        (gpu.elementwise_ops_per_s / sgx.pool_ops_per_s_paged, targets.maxpool_forward),
+        (gpu.elementwise_ops_per_s / sgx.pool_ops_per_s_resident, targets.maxpool_backward),
+    ]
+    return all(abs(got - want) / want <= tolerance for got, want in checks)

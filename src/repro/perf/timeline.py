@@ -1,0 +1,64 @@
+"""Pipelined vs. non-pipelined execution timelines (Fig. 5's two settings).
+
+The paper's non-pipelined design serialises TEE encoding, transfers and GPU
+compute; the pipelined design (Section 7.1) encodes virtual batch ``v+1``
+and streams data "under the shadow of GPUs execution time".  In steady
+state the three resources — TEE, link, GPUs — each process one virtual
+batch per stage, so the per-sample wall time collapses to the slowest
+stream plus a negligible pipeline fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costs import PhaseBreakdown
+
+
+@dataclass(frozen=True)
+class TimelineSummary:
+    """Per-sample wall times under both execution disciplines."""
+
+    tee_stream: float
+    gpu_stream: float
+    link_stream: float
+    non_pipelined: float
+    pipelined: float
+
+    @property
+    def pipeline_gain(self) -> float:
+        """Speedup of pipelining over the serialised schedule."""
+        return self.non_pipelined / self.pipelined if self.pipelined > 0 else float("inf")
+
+
+def build_timeline(breakdown: PhaseBreakdown) -> TimelineSummary:
+    """Map a phase breakdown onto the three hardware streams.
+
+    TEE stream = non-linear ops + encode/decode; GPU stream = offloaded
+    linear ops; link stream = transfers.  Non-pipelined executes them
+    back-to-back; pipelined overlaps them completely in steady state.
+    """
+    tee = breakdown.nonlinear + breakdown.encode_decode
+    gpu = breakdown.linear
+    link = breakdown.communication
+    return TimelineSummary(
+        tee_stream=tee,
+        gpu_stream=gpu,
+        link_stream=link,
+        non_pipelined=tee + gpu + link,
+        pipelined=max(tee, gpu, link),
+    )
+
+
+def pipelined_linear_time(breakdown: PhaseBreakdown) -> float:
+    """The paper's "total linear operation time" under pipelining.
+
+    Non-pipelined linear time includes communication (Section 7.1's
+    definition); pipelining hides the transfers, leaving pure GPU compute.
+    """
+    return breakdown.linear
+
+
+def non_pipelined_linear_time(breakdown: PhaseBreakdown) -> float:
+    """Linear + communication, the paper's non-pipelined linear category."""
+    return breakdown.linear + breakdown.communication

@@ -1,0 +1,75 @@
+"""Dynamic max-abs normalisation for models without batch-norm (VGG).
+
+Section 5 of the paper: "for VGG models a slightly different quantization is
+used to dynamically normalize the values of inputs and weights if they pass
+the limits ... by dividing them to the maximum absolute entry of the vector."
+ResNet/MobileNet keep activations in range via normalisation layers and use
+the static scheme.
+
+The normaliser divides a tensor by its max-abs (when that exceeds a target
+ceiling), remembers the factor, and multiplies the factor back into decoded
+bilinear results.  Because the masked computation is linear, scaling an input
+by ``1/c`` scales every decoded product by ``1/c`` exactly, so the round trip
+is lossless apart from the usual fixed-point rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class Normalization:
+    """The scale factor applied to one tensor (1.0 means untouched)."""
+
+    factor: float
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Scale values down by the stored factor."""
+        if self.factor == 1.0:
+            return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=np.float64) / self.factor
+
+    def unapply_product(self, values: np.ndarray, other: "Normalization") -> np.ndarray:
+        """Restore a bilinear product of two normalised operands."""
+        scale = self.factor * other.factor
+        if scale == 1.0:
+            return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=np.float64) * scale
+
+
+IDENTITY = Normalization(1.0)
+
+
+class DynamicNormalizer:
+    """Per-tensor max-abs normalisation with a configurable ceiling.
+
+    Parameters
+    ----------
+    ceiling:
+        Tensors whose max-abs exceeds this are divided down to it.  The
+        default 1.0 reproduces the paper's "divide by the maximum absolute
+        entry" rule; larger ceilings trade headroom for resolution.
+    """
+
+    def __init__(self, ceiling: float = 1.0) -> None:
+        if ceiling <= 0:
+            raise QuantizationError(f"ceiling must be positive, got {ceiling}")
+        self.ceiling = float(ceiling)
+
+    def normalize(self, values: np.ndarray) -> tuple[np.ndarray, Normalization]:
+        """Return ``(scaled_values, normalization)``.
+
+        Only scales when needed so well-behaved tensors keep full
+        fixed-point resolution.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
+        if max_abs <= self.ceiling or max_abs == 0.0:
+            return arr, IDENTITY
+        norm = Normalization(max_abs / self.ceiling)
+        return norm.apply(arr), norm

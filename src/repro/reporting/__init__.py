@@ -1,0 +1,5 @@
+"""Shared ASCII table/series rendering for benches and examples."""
+
+from repro.reporting.tables import render_series, render_table
+
+__all__ = ["render_table", "render_series"]

@@ -1,0 +1,33 @@
+"""DarKnight orchestration: config, backend, trainer, inference, baselines."""
+
+from repro.runtime.aggregation import LargeBatchAggregator
+from repro.runtime.async_sgd import StalenessAwareSGD
+from repro.runtime.baselines import GpuOnlyBackend, SgxOnlyBackend
+from repro.runtime.client import ClientSession, EnclaveReceiver, ProvisionedBatch
+from repro.runtime.config import DarKnightConfig
+from repro.runtime.darknight import DarKnightBackend
+from repro.runtime.dp import DpConfig, GradientPrivatizer, PrivacyLedger
+from repro.runtime.inference import PrivateInferenceEngine
+from repro.runtime.recovery import RecoveringExecutor, RecoveryReport
+from repro.runtime.trainer import Trainer, TrainingHistory, make_darknight_trainer
+
+__all__ = [
+    "DarKnightConfig",
+    "DarKnightBackend",
+    "Trainer",
+    "TrainingHistory",
+    "make_darknight_trainer",
+    "PrivateInferenceEngine",
+    "LargeBatchAggregator",
+    "SgxOnlyBackend",
+    "GpuOnlyBackend",
+    "ClientSession",
+    "EnclaveReceiver",
+    "ProvisionedBatch",
+    "RecoveringExecutor",
+    "RecoveryReport",
+    "DpConfig",
+    "GradientPrivatizer",
+    "PrivacyLedger",
+    "StalenessAwareSGD",
+]

@@ -1,0 +1,85 @@
+"""Configuration for the DarKnight runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fieldmath import DEFAULT_PRIME
+
+
+@dataclass(frozen=True)
+class DarKnightConfig:
+    """Everything that parameterises a DarKnight session.
+
+    Parameters
+    ----------
+    virtual_batch_size:
+        ``K`` — inputs combined per encoding (SGX memory bounds it to ~4-8
+        in the paper; Fig. 3/6b sweep it).
+    collusion_tolerance:
+        ``M`` — noise vectors; privacy holds against up to ``M`` colluding
+        GPUs.  The paper's base scheme is ``M = 1``.
+    integrity:
+        Add one redundant share (``K' = K + M + 1`` GPUs) and verify every
+        GPU result against a second decode subset (Section 4.4).
+    fractional_bits:
+        ``l`` of Algorithm 1 (8 in the paper).
+    prime:
+        Field modulus (``2**25 - 39`` in the paper).
+    dynamic_normalization:
+        Max-abs rescale tensors before quantization (the paper's VGG mode);
+        gradients are always normalised since their scale varies wildly.
+    mds_noise:
+        Build the noise block as Vandermonde/MDS so collusion privacy is by
+        construction, not w.h.p.
+    sealed_aggregation:
+        Route per-virtual-batch weight updates through Algorithm 2's
+        seal -> evict -> reload -> aggregate path instead of accumulating
+        in enclave memory.
+    validate_decode:
+        Debug mode: cross-check every masked decode against a float
+        reference and fail loudly on range overflow (tests use this).
+    seed:
+        Seed for all enclave randomness.
+    """
+
+    virtual_batch_size: int = 4
+    collusion_tolerance: int = 1
+    integrity: bool = False
+    fractional_bits: int = 8
+    prime: int = DEFAULT_PRIME
+    dynamic_normalization: bool = True
+    mds_noise: bool = True
+    sealed_aggregation: bool = False
+    validate_decode: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.virtual_batch_size < 1:
+            raise ConfigurationError(
+                f"virtual batch size must be >= 1, got {self.virtual_batch_size}"
+            )
+        if self.collusion_tolerance < 1:
+            raise ConfigurationError(
+                f"collusion tolerance must be >= 1, got {self.collusion_tolerance}"
+            )
+        if self.fractional_bits < 1:
+            raise ConfigurationError(
+                f"fractional bits must be >= 1, got {self.fractional_bits}"
+            )
+
+    @property
+    def extra_shares(self) -> int:
+        """Redundant shares added for integrity."""
+        return 1 if self.integrity else 0
+
+    @property
+    def n_shares(self) -> int:
+        """Encoded shares per virtual batch = GPUs that receive data."""
+        return self.virtual_batch_size + self.collusion_tolerance + self.extra_shares
+
+    @property
+    def n_gpus_required(self) -> int:
+        """``K'`` — the paper's ``K + M + 1 <= K'`` bound (equality here)."""
+        return self.n_shares

@@ -1,0 +1,383 @@
+"""The DarKnight execution backend: TEE-GPU cooperative linear algebra.
+
+This is the paper's Section 3.1 flow as a :class:`~repro.nn.backends.LinearBackend`:
+
+1. the enclave quantizes a virtual batch of layer inputs into ``F_p``;
+2. masks them into ``K + M (+1)`` shares with fresh coefficients;
+3. scatters one share per simulated GPU over the (modeled) link;
+4. GPUs run the bilinear kernel on their share;
+5. the enclave decodes the stacked results exactly, optionally verifying
+   integrity via a second decode subset, and dequantizes back to float;
+6. backward weight gradients reuse the *stored* forward shares: GPUs combine
+   the public-``B``-weighted gradients and return ``Eq_j``; the enclave
+   recovers the batch-aggregate update with ``Σ_j γ_j·Eq_j``;
+7. ``δ``-propagation (input gradients) is offloaded unencoded — it carries
+   no input data (Section 4.2).
+
+Plugging this backend into any :class:`~repro.nn.network.Sequential` makes
+its linear layers private without touching model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm import LinkModel
+from repro.enclave import Enclave
+from repro.errors import DecodingError
+from repro.gpu import GpuCluster
+from repro.masking import (
+    BackwardDecoder,
+    CoefficientSet,
+    ForwardDecoder,
+    ForwardEncoder,
+    IntegrityVerifier,
+    iter_virtual_batches,
+)
+from repro.quantization import IDENTITY, DynamicNormalizer, Normalization, QuantizationConfig
+from repro.runtime.aggregation import LargeBatchAggregator
+from repro.runtime.config import DarKnightConfig
+
+
+@dataclass
+class _ForwardRecord:
+    """State kept per (layer, virtual batch) from forward for backward reuse."""
+
+    coefficients: CoefficientSet
+    share_key: str
+    indices: tuple[int, ...]
+    n_real: int
+    x_norm: Normalization
+    w_norm: Normalization
+
+
+class DarKnightBackend:
+    """Masked TEE+GPU backend for conv/dense forward and weight gradients.
+
+    Parameters
+    ----------
+    config:
+        Session parameters (K, M, integrity, quantization...).
+    enclave:
+        The trusted side; provides randomness, accounting, sealing.
+    cluster:
+        Simulated accelerators; needs ``config.n_gpus_required`` devices.
+    link:
+        Interconnect cost model (bytes charged on every scatter/gather).
+    """
+
+    def __init__(
+        self,
+        config: DarKnightConfig | None = None,
+        enclave: Enclave | None = None,
+        cluster: GpuCluster | None = None,
+        link: LinkModel | None = None,
+    ) -> None:
+        self.config = config or DarKnightConfig()
+        self.enclave = enclave or Enclave(seed=self.config.seed)
+        self.field = self.enclave.field
+        if self.field.p != self.config.prime:
+            raise DecodingError(
+                f"enclave field p={self.field.p} != config prime {self.config.prime}"
+            )
+        self.cluster = cluster or GpuCluster(self.field, self.config.n_gpus_required)
+        self.link = link or LinkModel()
+        self.quantizer = QuantizationConfig(
+            fractional_bits=self.config.fractional_bits, field=self.field
+        )
+        self._normalizer = (
+            DynamicNormalizer() if self.config.dynamic_normalization else None
+        )
+        self._grad_normalizer = DynamicNormalizer()
+        self._forward_store: dict[str, list[_ForwardRecord]] = {}
+        self._aggregator = (
+            LargeBatchAggregator(self.enclave) if self.config.sealed_aggregation else None
+        )
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _normalize(self, values: np.ndarray) -> tuple[np.ndarray, Normalization]:
+        if self._normalizer is None:
+            return np.asarray(values, dtype=np.float64), IDENTITY
+        return self._normalizer.normalize(values)
+
+    def _fresh_coefficients(self) -> CoefficientSet:
+        coeffs = CoefficientSet.generate(
+            self.enclave.rng,
+            k=self.config.virtual_batch_size,
+            m=self.config.collusion_tolerance,
+            extra_shares=self.config.extra_shares,
+            mds_noise=self.config.mds_noise,
+        )
+        self.enclave.record_compute("generate_coefficients", coeffs.a.nbytes)
+        return coeffs
+
+    def _scatter(self, share_key: str, shares: np.ndarray) -> None:
+        self.cluster.scatter_shares(share_key, shares)
+        per_share = int(shares[0].nbytes)
+        for j in range(shares.shape[0]):
+            self.link.transfer("enclave", f"gpu{j}", per_share)
+        self.enclave.ocall("scatter_shares", int(shares.nbytes))
+
+    def _gather(self, outputs: np.ndarray) -> None:
+        per_out = int(outputs[0].nbytes)
+        for j in range(outputs.shape[0]):
+            self.link.transfer(f"gpu{j}", "enclave", per_out)
+        self.enclave.ecall("gather_outputs", int(outputs.nbytes))
+
+    def _verify_forward(self, coeffs: CoefficientSet, outputs: np.ndarray) -> None:
+        if not self.config.integrity:
+            return
+        report = IntegrityVerifier(coeffs).verify_forward(outputs)
+        report.raise_on_failure()
+        self.enclave.record_compute("integrity_check", int(outputs.nbytes))
+
+    # ------------------------------------------------------------------
+    # forward linear ops
+    # ------------------------------------------------------------------
+    def _masked_forward(
+        self,
+        x: np.ndarray,
+        w_q: np.ndarray,
+        key: str,
+        gpu_op,
+        w_norm: Normalization,
+    ) -> np.ndarray:
+        """Shared forward path for conv and dense.
+
+        ``gpu_op(device, share_key) -> field tensor`` runs the layer's
+        bilinear kernel on one device.
+        """
+        cfg = self.config
+        outputs: list[np.ndarray] = []
+        records: list[_ForwardRecord] = []
+        for vb_index, vb in enumerate(iter_virtual_batches(x, cfg.virtual_batch_size)):
+            data, x_norm = self._normalize(vb.data)
+            x_q = self.quantizer.quantize(data)
+            self.enclave.record_compute("quantize_inputs", int(x_q.nbytes))
+            coeffs = self._fresh_coefficients()
+            encoder = ForwardEncoder(coeffs, self.enclave.rng)
+            encoded = encoder.encode(x_q)
+            self.enclave.record_compute("encode_forward", int(encoded.shares.nbytes))
+            share_key = f"{key}/step{self._step}/vb{vb_index}"
+            self._scatter(share_key, encoded.shares)
+            gpu_outputs = self.cluster.map_shares(
+                coeffs.n_shares, lambda dev: gpu_op(dev, share_key)
+            )
+            self._gather(gpu_outputs)
+            self._verify_forward(coeffs, gpu_outputs)
+            decoded = ForwardDecoder(coeffs).decode(gpu_outputs)
+            self.enclave.record_compute("decode_forward", int(decoded.nbytes))
+            y = self.quantizer.dequantize_product(decoded)
+            y = y * (x_norm.factor * w_norm.factor)
+            outputs.append(y[: vb.n_real])
+            records.append(
+                _ForwardRecord(
+                    coefficients=coeffs,
+                    share_key=share_key,
+                    indices=vb.indices,
+                    n_real=vb.n_real,
+                    x_norm=x_norm,
+                    w_norm=w_norm,
+                )
+            )
+        self._forward_store[key] = records
+        return np.concatenate(outputs, axis=0)
+
+    def conv2d_forward(self, x, w, b, stride, pad, key):
+        """Masked convolution over the virtual-batched input."""
+        w_scaled, w_norm = self._normalize(w)
+        w_q = self.quantizer.quantize(w_scaled)
+        self.cluster.broadcast_weights(key, w_q)
+        out = self._masked_forward(
+            x,
+            w_q,
+            key,
+            lambda dev, share_key: dev.conv2d_forward(share_key, key, stride, pad),
+            w_norm,
+        )
+        if self.config.validate_decode:
+            self._validate(out, self._float_conv(x, w, stride, pad), key)
+        if b is not None:
+            out = out + b.reshape(1, -1, 1, 1)
+        return out
+
+    def dense_forward(self, x, w, b, key):
+        """Masked dense layer over the virtual-batched input."""
+        w_scaled, w_norm = self._normalize(w)
+        w_q = self.quantizer.quantize(w_scaled)
+        self.cluster.broadcast_weights(key, w_q)
+        out = self._masked_forward(
+            x,
+            w_q,
+            key,
+            lambda dev, share_key: dev.dense_forward(share_key, key),
+            w_norm,
+        )
+        if self.config.validate_decode:
+            self._validate(out, x @ w, key)
+        if b is not None:
+            out = out + b
+        return out
+
+    # ------------------------------------------------------------------
+    # backward weight gradients (the Eq_j protocol)
+    # ------------------------------------------------------------------
+    def _masked_grad_w(self, delta: np.ndarray, key: str, gpu_op) -> np.ndarray:
+        """Shared backward path: returns ``Σ_i <δ(i), x(i)>`` in float.
+
+        ``gpu_op(device, share_key, combined_delta) -> field tensor``
+        computes one ``Eq_j``.
+        """
+        records = self._forward_store.get(key)
+        if not records:
+            raise DecodingError(
+                f"no stored forward encodings for layer {key!r}; run forward first"
+            )
+        cfg = self.config
+        total: np.ndarray | None = None
+        for record in records:
+            rows = delta[list(record.indices)]
+            if rows.shape[0] < cfg.virtual_batch_size:
+                pad_rows = np.zeros(
+                    (cfg.virtual_batch_size - rows.shape[0],) + rows.shape[1:],
+                    dtype=rows.dtype,
+                )
+                rows = np.concatenate([rows, pad_rows], axis=0)
+            d_scaled, d_norm = self._grad_normalizer.normalize(rows)
+            d_q = self.quantizer.quantize(d_scaled)
+            self.enclave.record_compute("quantize_deltas", int(d_q.nbytes))
+            coeffs = record.coefficients
+            # Quantized deltas and the public B rows ship to every GPU; the
+            # combination Σ_i B[j,i]·δ(i) is GPU-side work (Section 4.2:
+            # "δ(i)s are multiplied with the β_{j,i} in the GPUs").
+            for j in range(coeffs.n_shares):
+                self.link.transfer("enclave", f"gpu{j}", int(d_q.nbytes))
+            equations = self.cluster.map_shares(
+                coeffs.n_shares,
+                lambda dev: gpu_op(
+                    dev,
+                    record.share_key,
+                    dev.combine_deltas(d_q, coeffs.b[dev.device_id]),
+                ),
+            )
+            self._gather(equations)
+            aggregate = BackwardDecoder(coeffs).decode(equations)
+            self.enclave.record_compute("decode_backward", int(aggregate.nbytes))
+            if cfg.integrity:
+                self._verify_backward(coeffs, d_q, aggregate, gpu_op, record)
+            # The decode yields Σ<δ', x'> of the *normalised* operands; the
+            # weight factor never enters a (δ, x) pairing, so only the input
+            # and gradient factors multiply back.
+            grad = self.quantizer.dequantize_product(aggregate)
+            contribution = grad * (record.x_norm.factor * d_norm.factor)
+            if self._aggregator is not None:
+                self._aggregator.add_update(f"{key}/{record.share_key}", contribution)
+            else:
+                total = contribution if total is None else total + contribution
+        if self._aggregator is not None:
+            keys = [f"{key}/{r.share_key}" for r in records]
+            return self._aggregator.aggregate(keys)
+        return total
+
+    def _verify_backward(self, coeffs, d_q, primary_aggregate, gpu_op, record) -> None:
+        """Re-decode the aggregate under a ``B`` supported on an alternate subset."""
+        alt_subset = None
+        for subset in coeffs.iter_decoding_subsets(limit=4):
+            if subset != coeffs.primary_subset:
+                alt_subset = subset
+                break
+        if alt_subset is None:
+            return
+        b_alt, gamma = coeffs.backward_matrices_for_subset(alt_subset)
+        equations = self.cluster.map_shares(
+            coeffs.n_shares,
+            lambda dev: gpu_op(
+                dev,
+                record.share_key,
+                dev.combine_deltas(d_q, b_alt[dev.device_id]),
+            ),
+        )
+        alt_aggregate = BackwardDecoder(coeffs).decode_with_matrices(
+            equations, b_alt, gamma
+        )
+        verifier = IntegrityVerifier(coeffs)
+        report = verifier.verify_backward(
+            {coeffs.primary_subset: primary_aggregate, alt_subset: alt_aggregate}
+        )
+        report.raise_on_failure()
+        self.enclave.record_compute("integrity_check_backward", int(d_q.nbytes))
+
+    def conv2d_grad_w(self, x, delta, kh, kw, stride, pad, key):
+        """Masked batch-aggregate conv weight gradient."""
+        grad = self._masked_grad_w(
+            delta,
+            key,
+            lambda dev, share_key, combined: dev.backward_equation_conv(
+                share_key, combined, kh, kw, stride, pad
+            ),
+        )
+        if self.config.validate_decode:
+            from repro.nn import functional as F
+
+            self._validate(
+                grad, F.conv2d_grad_w(x, delta, kh, kw, np.matmul, stride, pad), key
+            )
+        return grad
+
+    def dense_grad_w(self, x, delta, key):
+        """Masked batch-aggregate dense weight gradient (``x^T @ δ``)."""
+        grad = self._masked_grad_w(
+            delta,
+            key,
+            lambda dev, share_key, combined: dev.backward_equation_dense(
+                share_key, combined
+            ),
+        )
+        if self.config.validate_decode:
+            self._validate(grad, x.T @ delta, key)
+        return grad
+
+    # ------------------------------------------------------------------
+    # delta propagation — offloaded unencoded (no input data involved)
+    # ------------------------------------------------------------------
+    def conv2d_grad_x(self, w, delta, x_shape, stride, pad, key):
+        """Input gradient on GPU 0, raw floats (Section 4.2's second op)."""
+        return self.cluster[0].float_conv2d_grad_x(w, delta, x_shape, stride, pad)
+
+    def dense_grad_x(self, w, delta, key):
+        """Input gradient ``δ @ w^T`` on GPU 0, raw floats."""
+        return self.cluster[0].float_matmul(delta, w.T)
+
+    # ------------------------------------------------------------------
+    # lifecycle / debug
+    # ------------------------------------------------------------------
+    def end_batch(self) -> None:
+        """Drop stored encodings on enclave and GPUs (between train steps)."""
+        for records in self._forward_store.values():
+            for record in records:
+                self.cluster.drop_shares(record.share_key)
+        self._forward_store.clear()
+        self._step += 1
+
+    def _float_conv(self, x, w, stride, pad):
+        from repro.nn import functional as F
+
+        return F.conv2d_via_matmul(x, w, np.matmul, stride, pad)
+
+    def _validate(self, got: np.ndarray, want: np.ndarray, key: str) -> None:
+        """Debug cross-check of a masked result against the float reference."""
+        tol = max(1e-6, 4.0 * self.quantizer.resolution * np.sqrt(got.size / max(1, got.shape[0])))
+        err = float(np.max(np.abs(got - want))) if got.size else 0.0
+        scale = float(np.max(np.abs(want))) + 1.0
+        if err > tol * scale:
+            raise DecodingError(
+                f"masked decode for {key!r} deviates from float reference:"
+                f" max err {err:.3e} vs tolerance {tol * scale:.3e}"
+                " (likely fixed-point range overflow; lower fractional_bits"
+                " or enable dynamic normalisation)"
+            )

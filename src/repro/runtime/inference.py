@@ -1,0 +1,55 @@
+"""Private inference engine (the paper's Section 7.2 usage).
+
+Forward pass and inference share the same encoding (Section 4: "forward
+pass and inference are similar in terms of encoding and decoding
+functions"), so the engine is a thin orchestration over the DarKnight
+backend in inference mode, with optional per-layer integrity verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Sequential
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.runtime.config import DarKnightConfig
+from repro.runtime.darknight import DarKnightBackend
+
+
+class PrivateInferenceEngine:
+    """Runs a trained model on private inputs via masked offload.
+
+    Parameters
+    ----------
+    network:
+        A trained model.
+    config:
+        DarKnight parameters; ``integrity=True`` adds the redundant share
+        and verifies every GPU result (the DarKnight(K)+Integrity bars of
+        Fig. 6a).
+    backend:
+        Optionally share an existing backend (e.g. to reuse its cluster).
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        config: DarKnightConfig | None = None,
+        backend: DarKnightBackend | None = None,
+    ) -> None:
+        self.network = network
+        self.backend = backend or DarKnightBackend(config or DarKnightConfig())
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a batch of private inputs."""
+        out = self.network.forward(x, self.backend, training=False)
+        self.backend.end_batch()
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a batch of private inputs."""
+        return np.argmax(self.predict_logits(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Top-1 accuracy of private predictions."""
+        return SoftmaxCrossEntropy.accuracy(self.predict_logits(x), y)

@@ -1,0 +1,14 @@
+"""Slalom baseline: precomputed blinding inference + Freivalds integrity."""
+
+from repro.slalom.blinding import BlindingPair, BlindingStore
+from repro.slalom.freivalds import freivalds_check, freivalds_macs
+from repro.slalom.runtime import SlalomBackend, SlalomTrainingError
+
+__all__ = [
+    "BlindingStore",
+    "BlindingPair",
+    "SlalomBackend",
+    "SlalomTrainingError",
+    "freivalds_check",
+    "freivalds_macs",
+]

@@ -1,0 +1,61 @@
+"""Freivalds' probabilistic verification of outsourced matrix products.
+
+Slalom+Integrity (Fig. 6a) checks each claimed ``Y = W·X`` with Freivalds'
+algorithm: sample a random field vector ``s`` and compare ``sᵀY`` with
+``(sᵀW)·X`` — O(n²) instead of the O(n³) recompute, with error probability
+``1/p`` per trial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IntegrityError
+from repro.fieldmath import FieldRng, PrimeField, field_matmul
+
+
+def freivalds_check(
+    field: PrimeField,
+    w_flat: np.ndarray,
+    x_cols: np.ndarray,
+    y_claimed: np.ndarray,
+    rng: FieldRng,
+    trials: int = 1,
+) -> bool:
+    """Verify ``y_claimed == w_flat @ x_cols (mod p)`` probabilistically.
+
+    Parameters
+    ----------
+    w_flat:
+        ``(F, D)`` operator matrix (e.g. flattened conv weights).
+    x_cols:
+        ``(D, P)`` input columns (e.g. im2col patches).
+    y_claimed:
+        ``(F, P)`` the GPU's claimed product.
+    trials:
+        Independent repetitions; failure escape probability is ``p^-trials``.
+
+    Returns
+    -------
+    ``True`` when every trial passes.
+    """
+    if w_flat.shape[1] != x_cols.shape[0] or y_claimed.shape != (
+        w_flat.shape[0],
+        x_cols.shape[1],
+    ):
+        raise IntegrityError(
+            f"shape mismatch: W {w_flat.shape}, X {x_cols.shape}, Y {y_claimed.shape}"
+        )
+    for _ in range(max(1, trials)):
+        s = rng.uniform((1, w_flat.shape[0]))
+        lhs = field_matmul(field, s, y_claimed)  # (1, P)
+        sw = field_matmul(field, s, w_flat)  # (1, D)
+        rhs = field_matmul(field, sw, x_cols)  # (1, P)
+        if not np.array_equal(lhs, rhs):
+            return False
+    return True
+
+
+def freivalds_macs(f: int, d: int, p: int, trials: int = 1) -> int:
+    """MAC count of the check (the cost model prices it directly)."""
+    return trials * (f * p + f * d + d * p)

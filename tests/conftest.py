@@ -1,0 +1,32 @@
+"""Shared fixtures for the DarKnight reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fieldmath import FieldRng, PrimeField
+
+
+@pytest.fixture(scope="session")
+def field() -> PrimeField:
+    """The paper's field, shared across the whole run (stateless)."""
+    return PrimeField()
+
+
+@pytest.fixture()
+def frng(field) -> FieldRng:
+    """A fresh deterministic field sampler per test."""
+    return FieldRng(field, seed=1234)
+
+
+@pytest.fixture()
+def nprng() -> np.random.Generator:
+    """A fresh deterministic numpy generator per test."""
+    return np.random.default_rng(99)
+
+
+@pytest.fixture()
+def small_field() -> PrimeField:
+    """A small prime field where exhaustive checks are cheap."""
+    return PrimeField(p=10007)

@@ -1,0 +1,13 @@
+"""Smoke test for the ``python -m repro`` report entry point."""
+
+import runpy
+
+
+def test_module_entry_point_prints_report(capsys):
+    try:
+        runpy.run_module("repro", run_name="__main__")
+    except SystemExit as exc:
+        assert exc.code in (0, None)
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "headline" in out

@@ -1,0 +1,159 @@
+"""Unit + property tests for field linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.fieldmath import (
+    FieldRng,
+    PrimeField,
+    all_column_subsets_full_rank,
+    determinant,
+    field_dot,
+    field_matmul,
+    inverse,
+    is_invertible,
+    rank,
+    solve,
+    vandermonde,
+)
+
+
+def _bigint_matmul(a, b, p):
+    """Exact reference via Python big ints."""
+    a_obj = a.astype(object)
+    b_obj = b.astype(object)
+    return np.mod(a_obj @ b_obj, p).astype(np.int64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    m=st.integers(2, 6),
+    k=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_field_matmul_matches_bigint_reference(n, m, k, seed):
+    field = PrimeField()
+    rng = FieldRng(field, seed)
+    a = rng.uniform((n, m))
+    b = rng.uniform((m, k))
+    assert np.array_equal(field_matmul(field, a, b), _bigint_matmul(a, b, field.p))
+
+
+def test_field_matmul_chunking_handles_long_contractions(field, frng):
+    # Contraction far beyond the safe accumulation bound must stay exact.
+    n = 20_000
+    a = frng.uniform((1, n))
+    b = frng.uniform((n, 1))
+    expected = _bigint_matmul(a, b, field.p)
+    assert np.array_equal(field_matmul(field, a, b, chunk=1024), expected)
+    assert np.array_equal(field_matmul(field, a, b), expected)
+
+
+def test_field_matmul_rejects_bad_shapes(field, frng):
+    with pytest.raises(FieldError):
+        field_matmul(field, frng.uniform((2, 3)), frng.uniform((4, 2)))
+    with pytest.raises(FieldError):
+        field_matmul(field, frng.uniform((2, 3)), frng.uniform((3, 2)), chunk=0)
+
+
+def test_field_dot(field, frng):
+    a = frng.uniform((5000,))
+    b = frng.uniform((5000,))
+    expected = int(np.mod(np.dot(a.astype(object), b.astype(object)), field.p))
+    assert field_dot(field, a, b) == expected
+    with pytest.raises(FieldError):
+        field_dot(field, a, b[:10])
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 10_000))
+def test_inverse_roundtrip(n, seed):
+    field = PrimeField()
+    rng = FieldRng(field, seed)
+    m = rng.invertible_matrix(n)
+    m_inv = inverse(field, m)
+    assert np.array_equal(field_matmul(field, m, m_inv), field.eye(n))
+    assert np.array_equal(field_matmul(field, m_inv, m), field.eye(n))
+
+
+def test_inverse_of_singular_raises(field):
+    singular = field.element([[1, 2], [2, 4]])
+    with pytest.raises(SingularMatrixError):
+        inverse(field, singular)
+    with pytest.raises(SingularMatrixError):
+        inverse(field, field.ones((2, 3)))
+
+
+def test_solve_matches_inverse(field, frng):
+    a = frng.invertible_matrix(4)
+    b = frng.uniform((4, 2))
+    x = solve(field, a, b)
+    assert np.array_equal(field_matmul(field, a, x), b)
+    # 1-D right-hand side round-trips as a vector.
+    v = frng.uniform((4,))
+    xv = solve(field, a, v)
+    assert xv.shape == (4,)
+    assert np.array_equal(field_matmul(field, a, xv.reshape(-1, 1)).ravel(), v)
+
+
+def test_rank_and_invertibility(field, frng):
+    m = frng.invertible_matrix(5)
+    assert rank(field, m) == 5
+    assert is_invertible(field, m)
+    deficient = m.copy()
+    deficient[4] = deficient[3]
+    assert rank(field, deficient) == 4
+    assert not is_invertible(field, deficient)
+    assert not is_invertible(field, frng.uniform((3, 4)))
+
+
+def test_determinant_properties(field, frng):
+    m = frng.invertible_matrix(4)
+    d = determinant(field, m)
+    assert d != 0
+    singular = m.copy()
+    singular[0] = singular[1]
+    assert determinant(field, singular) == 0
+    assert determinant(field, field.eye(3)) == 1
+    with pytest.raises(FieldError):
+        determinant(field, frng.uniform((2, 3)))
+
+
+def test_determinant_multiplicative(field, frng):
+    a = frng.invertible_matrix(3)
+    b = frng.invertible_matrix(3)
+    lhs = determinant(field, field_matmul(field, a, b))
+    rhs = field.mul(determinant(field, a), determinant(field, b))
+    assert lhs == int(rhs)
+
+
+def test_vandermonde_mds_property(field, frng):
+    points = frng.distinct_nonzero(7)
+    v = vandermonde(field, points, 3)
+    assert v.shape == (3, 7)
+    assert all_column_subsets_full_rank(field, v, 3, max_checks=None)
+
+
+def test_vandermonde_rejects_duplicates(field):
+    with pytest.raises(FieldError):
+        vandermonde(field, np.array([1, 2, 2]), 2)
+    with pytest.raises(FieldError):
+        vandermonde(field, np.array([1, 2, 3]), 0)
+
+
+def test_all_column_subsets_detects_deficiency(field):
+    # A matrix with a zero column fails the subset-rank certificate.
+    m = field.element([[1, 0, 2], [3, 0, 4]])
+    assert not all_column_subsets_full_rank(field, m, 2, max_checks=None)
+    with pytest.raises(FieldError):
+        all_column_subsets_full_rank(field, m, 3)
+
+
+def test_random_matrix_usually_not_mds_counterexample(field, frng):
+    # The MDS generator must produce subset-full-rank noise blocks.
+    mds = frng.mds_matrix(2, 6)
+    assert all_column_subsets_full_rank(field, mds, 2, max_checks=None)

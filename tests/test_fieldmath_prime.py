@@ -1,0 +1,110 @@
+"""Unit + property tests for prime-field element arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.fieldmath import DEFAULT_PRIME, PrimeField
+
+elements = st.integers(min_value=0, max_value=DEFAULT_PRIME - 1)
+
+
+def test_default_prime_value(field):
+    assert field.p == 2**25 - 39 == 33554393
+
+
+def test_rejects_composite_modulus():
+    with pytest.raises(FieldError):
+        PrimeField(p=2**25 - 40)
+
+
+def test_rejects_oversized_modulus():
+    with pytest.raises(FieldError):
+        PrimeField(p=2**31 + 11)
+
+
+def test_element_reduces_into_range(field):
+    arr = field.element([-1, 0, field.p, field.p + 5, -field.p - 3])
+    assert field.is_canonical(arr)
+    assert arr.tolist() == [field.p - 1, 0, 0, 5, field.p - 3]
+
+
+def test_is_canonical_rejects_floats(field):
+    assert not field.is_canonical(np.array([0.5, 1.0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=elements, b=elements)
+def test_add_sub_inverse_ops(a, b):
+    field = PrimeField()
+    s = field.add(a, b)
+    assert int(field.sub(s, b)) == a
+    assert int(field.add(field.neg(a), a)) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=elements, b=elements, c=elements)
+def test_mul_distributes_over_add(a, b, c):
+    field = PrimeField()
+    left = field.mul(a, field.add(b, c))
+    right = field.add(field.mul(a, b), field.mul(a, c))
+    assert int(left) == int(right)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=elements.filter(lambda x: x != 0))
+def test_inverse_is_multiplicative_inverse(a):
+    field = PrimeField()
+    assert int(field.mul(a, field.inv(a))) == 1
+    assert field.scalar_inv(a) == int(field.inv(a))
+
+
+def test_inverse_of_zero_raises(field):
+    with pytest.raises(FieldError):
+        field.inv(np.array([3, 0, 5]))
+    with pytest.raises(FieldError):
+        field.scalar_inv(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=elements, e=st.integers(min_value=0, max_value=200))
+def test_power_matches_python_pow(a, e):
+    field = PrimeField()
+    assert int(field.power(a, e)) == pow(a, e, field.p)
+
+
+def test_power_negative_exponent(field):
+    a = 12345
+    assert int(field.power(a, -1)) == field.scalar_inv(a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(v=st.integers(min_value=-(DEFAULT_PRIME // 2), max_value=DEFAULT_PRIME // 2))
+def test_signed_lift_roundtrip(v):
+    field = PrimeField()
+    assert int(field.to_signed(field.from_signed(v))) == v
+
+
+def test_signed_constants(field):
+    assert field.signed_max == field.p // 2
+    assert field.signed_min == -(field.p // 2)
+    assert field.half == field.p // 2
+
+
+def test_uniform_in_range(field, nprng):
+    sample = field.uniform((1000,), nprng)
+    assert field.is_canonical(sample)
+    nz = field.nonzero_uniform((1000,), nprng)
+    assert np.all(nz > 0)
+
+
+def test_zeros_ones_eye(field):
+    assert field.zeros((2, 2)).sum() == 0
+    assert field.ones((3,)).sum() == 3
+    assert np.array_equal(field.eye(2), np.eye(2, dtype=np.int64))
+
+
+def test_square(field):
+    assert int(field.square(7)) == 49

@@ -1,0 +1,185 @@
+"""Tests for the simulated accelerators: kernels, devices, faults, cluster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GpuError
+from repro.fieldmath import field_matmul
+from repro.gpu import (
+    FieldKernels,
+    GpuCluster,
+    RandomTamper,
+    SimulatedGpu,
+    TargetedTamper,
+)
+from repro.nn import functional as F
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def test_field_conv_matches_float_conv_on_small_values(field, frng):
+    """Field conv on signed-lifted ints equals integer conv."""
+    kernels = FieldKernels(field)
+    x_int = frng.generator.integers(-5, 6, size=(2, 6, 6))
+    w_int = frng.generator.integers(-3, 4, size=(4, 2, 3, 3))
+    out = kernels.conv2d(field.from_signed(x_int), field.from_signed(w_int), 1, 1)
+    expected = F.conv2d_via_matmul(
+        x_int[None].astype(np.int64), w_int.astype(np.int64), np.matmul, 1, 1
+    )[0]
+    assert np.array_equal(field.to_signed(out), expected)
+
+
+def test_field_dense_and_grad(field, frng):
+    kernels = FieldKernels(field)
+    x = frng.uniform((8,))
+    w = frng.uniform((8, 3))
+    y = kernels.dense(x, w)
+    assert np.array_equal(y, field_matmul(field, x.reshape(1, -1), w).ravel())
+    delta = frng.uniform((3,))
+    gw = kernels.dense_grad_w(x, delta)
+    assert np.array_equal(gw, field_matmul(field, x.reshape(-1, 1), delta.reshape(1, -1)))
+
+
+def test_scale_accumulate(field, frng):
+    kernels = FieldKernels(field)
+    tensors = frng.uniform((3, 4, 4))
+    scalars = frng.uniform((3,))
+    out = kernels.scale_accumulate(tensors, scalars)
+    expected = field.zeros((4, 4))
+    for t, s in zip(tensors, scalars):
+        expected = field.add(expected, field.mul(t, s))
+    assert np.array_equal(out, expected)
+
+
+# ----------------------------------------------------------------------
+# device
+# ----------------------------------------------------------------------
+def test_device_share_storage_and_ledger(field, frng):
+    gpu = SimulatedGpu(0, field)
+    share = frng.uniform((3, 5, 5))
+    gpu.receive_share("layer1/vb0", share)
+    assert np.array_equal(gpu.stored_share("layer1/vb0"), share)
+    assert gpu.ledger.bytes_received == share.nbytes
+    gpu.drop_share("layer1/vb0")
+    with pytest.raises(GpuError):
+        gpu.stored_share("layer1/vb0")
+
+
+def test_device_conv_forward_records_ops(field, frng):
+    gpu = SimulatedGpu(0, field)
+    gpu.load_weights("w", frng.uniform((4, 3, 3, 3)))
+    gpu.receive_share("s", frng.uniform((3, 8, 8)))
+    out = gpu.conv2d_forward("s", "w", stride=1, pad=1)
+    assert out.shape == (4, 8, 8)
+    assert gpu.ledger.mac_ops > 0
+    assert gpu.ledger.kernel_calls == 1
+    assert "conv2d_forward" in gpu.ledger.ops_by_name
+
+
+def test_device_backward_equations(field, frng):
+    gpu = SimulatedGpu(1, field)
+    gpu.receive_share("s", frng.uniform((6,)))
+    eq = gpu.backward_equation_dense("s", frng.uniform((3,)))
+    assert eq.shape == (6, 3)
+    gpu.receive_share("c", frng.uniform((2, 5, 5)))
+    eq2 = gpu.backward_equation_conv("c", frng.uniform((4, 3, 3)), 3, 3)
+    assert eq2.shape == (4, 2, 3, 3)
+
+
+# ----------------------------------------------------------------------
+# faults
+# ----------------------------------------------------------------------
+def test_random_tamper_changes_output(field, frng):
+    tamper = RandomTamper(field, probability=1.0, n_entries=2, seed=0)
+    clean = frng.uniform((4, 4))
+    dirty = tamper.corrupt(clean, 0, "op")
+    assert not np.array_equal(clean, dirty)
+    assert tamper.tamper_count == 1
+    # Exactly 2 entries changed.
+    assert int(np.sum(clean != dirty)) == 2
+
+
+def test_random_tamper_probability_zero_is_honest(field, frng):
+    tamper = RandomTamper(field, probability=0.0, seed=0)
+    clean = frng.uniform((4,))
+    assert np.array_equal(tamper.corrupt(clean, 0, "op"), clean)
+    assert tamper.tamper_count == 0
+
+
+def test_targeted_tamper_only_hits_target_op(field, frng):
+    inner = RandomTamper(field, probability=1.0, seed=0)
+    tamper = TargetedTamper(inner, target_op="backward_equation_dense")
+    clean = frng.uniform((4,))
+    assert np.array_equal(tamper.corrupt(clean, 0, "conv2d_forward"), clean)
+    assert not np.array_equal(
+        tamper.corrupt(clean, 0, "backward_equation_dense"), clean
+    )
+
+
+def test_tamper_validation(field):
+    with pytest.raises(ConfigurationError):
+        RandomTamper(field, probability=2.0)
+    with pytest.raises(ConfigurationError):
+        RandomTamper(field, n_entries=0)
+
+
+# ----------------------------------------------------------------------
+# cluster
+# ----------------------------------------------------------------------
+def test_cluster_scatter_one_share_per_gpu(field, frng):
+    cluster = GpuCluster(field, 4)
+    shares = frng.uniform((3, 2, 2))
+    cluster.scatter_shares("k", shares)
+    for j in range(3):
+        assert np.array_equal(cluster[j].stored_share("k"), shares[j])
+    with pytest.raises(GpuError):
+        cluster[3].stored_share("k")  # device 3 got nothing
+
+
+def test_cluster_rejects_too_many_shares(field, frng):
+    cluster = GpuCluster(field, 2)
+    with pytest.raises(GpuError):
+        cluster.scatter_shares("k", frng.uniform((3, 2)))
+
+
+def test_cluster_broadcast_and_map(field, frng):
+    cluster = GpuCluster(field, 3)
+    w = frng.uniform((6, 4))
+    cluster.broadcast_weights("w", w)
+    shares = frng.uniform((3, 6))
+    cluster.scatter_shares("s", shares)
+    outs = cluster.map_shares(3, lambda dev: dev.dense_forward("s", "w"))
+    for j in range(3):
+        assert np.array_equal(
+            outs[j], field_matmul(field, shares[j].reshape(1, -1), w).ravel()
+        )
+
+
+def test_cluster_map_with_rows(field, frng):
+    cluster = GpuCluster(field, 3)
+    deltas = frng.uniform((2, 4))
+    rows = [frng.uniform((2,)) for _ in range(3)]
+    outs = cluster.map_with_rows(
+        3, rows, lambda dev, row: dev.combine_deltas(deltas, row)
+    )
+    assert outs.shape == (3, 4)
+
+
+def test_cluster_validation(field):
+    with pytest.raises(ConfigurationError):
+        GpuCluster(field, 1)
+    with pytest.raises(ConfigurationError):
+        GpuCluster(field, 2, fault_injectors={5: None})
+
+
+def test_cluster_accounting(field, frng):
+    cluster = GpuCluster(field, 2)
+    cluster.broadcast_weights("w", frng.uniform((6, 4)))
+    cluster.scatter_shares("s", frng.uniform((2, 6)))
+    cluster.map_shares(2, lambda dev: dev.dense_forward("s", "w"))
+    assert cluster.total_mac_ops() > 0
+    assert cluster.total_bytes_moved() > 0
+    cluster.drop_shares("s")
+    with pytest.raises(GpuError):
+        cluster[0].stored_share("s")

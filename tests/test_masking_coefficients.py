@@ -1,0 +1,112 @@
+"""Tests for coefficient generation (the Equation 5/13 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.fieldmath import FieldRng, PrimeField, is_invertible
+from repro.masking import CoefficientSet
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(1, 5),
+    m=st.integers(1, 3),
+    extra=st.integers(0, 2),
+    seed=st.integers(0, 5000),
+)
+def test_generated_set_satisfies_recovery_constraint(k, m, extra, seed):
+    rng = FieldRng(PrimeField(), seed)
+    coeffs = CoefficientSet.generate(rng, k=k, m=m, extra_shares=extra)
+    assert coeffs.verify()
+    assert coeffs.n_shares == k + m + extra
+    assert coeffs.n_sources == k + m
+    assert coeffs.extra_shares == extra
+    assert coeffs.collusion_tolerance() == m
+
+
+def test_block_views(frng):
+    coeffs = CoefficientSet.generate(frng, k=3, m=2, extra_shares=1)
+    assert coeffs.a1.shape == (3, 6)
+    assert coeffs.a2.shape == (2, 6)
+    assert np.array_equal(np.vstack([coeffs.a1, coeffs.a2]), coeffs.a)
+
+
+def test_primary_subset_is_decodable(frng, field):
+    coeffs = CoefficientSet.generate(frng, k=4, m=1, extra_shares=1)
+    decode = coeffs.decoding_matrix()
+    sub = coeffs.a[:, list(coeffs.primary_subset)]
+    from repro.fieldmath import field_matmul
+
+    assert np.array_equal(field_matmul(field, sub, decode), field.eye(5))
+
+
+def test_decoding_matrix_rejects_wrong_size(frng):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=1)
+    with pytest.raises(EncodingError):
+        coeffs.decoding_matrix((0, 1))
+
+
+def test_iter_decoding_subsets_yields_multiple_with_redundancy(frng, field):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=1)
+    subsets = list(coeffs.iter_decoding_subsets())
+    assert coeffs.primary_subset in subsets
+    assert len(subsets) >= 2
+    for subset in subsets:
+        assert is_invertible(field, coeffs.a[:, list(subset)])
+
+
+def test_iter_decoding_subsets_limit(frng):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=2)
+    assert len(list(coeffs.iter_decoding_subsets(limit=3))) == 3
+
+
+def test_backward_matrices_for_alternate_subset(frng, field):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=1)
+    alt = next(s for s in coeffs.iter_decoding_subsets() if s != coeffs.primary_subset)
+    b_alt, gamma = coeffs.backward_matrices_for_subset(alt)
+    from repro.fieldmath import field_matmul
+
+    target = field.zeros((2, 3))
+    target[:2, :2] = field.eye(2)
+    lhs = field_matmul(
+        field, field_matmul(field, b_alt.T, np.diag(gamma)), coeffs.a.T
+    )
+    assert np.array_equal(lhs, target)
+    # Rows outside the subset are zero.
+    outside = set(range(coeffs.n_shares)) - set(alt)
+    for j in outside:
+        assert np.all(b_alt[j] == 0)
+
+
+def test_generation_validation_errors(frng):
+    with pytest.raises(EncodingError):
+        CoefficientSet.generate(frng, k=0)
+    with pytest.raises(EncodingError):
+        CoefficientSet.generate(frng, k=2, m=0)
+    with pytest.raises(EncodingError):
+        CoefficientSet.generate(frng, k=2, m=1, extra_shares=-1)
+
+
+def test_certified_collusion_generation(frng, field):
+    from repro.fieldmath import all_column_subsets_full_rank
+
+    coeffs = CoefficientSet.generate(
+        frng, k=2, m=2, extra_shares=1, certify_collusion=True
+    )
+    assert all_column_subsets_full_rank(field, coeffs.a2, 2, max_checks=None)
+
+
+def test_mds_noise_block_always_subset_full_rank(frng, field):
+    from repro.fieldmath import all_column_subsets_full_rank
+
+    for _ in range(5):
+        coeffs = CoefficientSet.generate(frng, k=3, m=2)
+        assert all_column_subsets_full_rank(field, coeffs.a2, 2, max_checks=None)
+
+
+def test_non_mds_generation_still_verifies(frng):
+    coeffs = CoefficientSet.generate(frng, k=3, m=2, mds_noise=False)
+    assert coeffs.verify()

@@ -1,0 +1,132 @@
+"""Tests for the redundant-share integrity machinery (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrityError
+from repro.fieldmath import field_matmul
+from repro.masking import (
+    BackwardDecoder,
+    BackwardEncoder,
+    CoefficientSet,
+    ForwardEncoder,
+    IntegrityVerifier,
+)
+
+
+def _setup(frng, field, k=2, m=1, extra=1):
+    coeffs = CoefficientSet.generate(frng, k=k, m=m, extra_shares=extra)
+    x = frng.uniform((k, 6))
+    batch = ForwardEncoder(coeffs, frng).encode(x)
+    w = frng.uniform((4, 6))
+    outputs = np.stack(
+        [field_matmul(field, w, s.reshape(-1, 1)).ravel() for s in batch.shares]
+    )
+    return coeffs, batch, outputs
+
+
+def test_honest_results_verify(frng, field):
+    coeffs, _, outputs = _setup(frng, field)
+    report = IntegrityVerifier(coeffs).verify_forward(outputs)
+    assert report.consistent
+    assert report.subsets_checked >= 2
+    report.raise_on_failure()  # no-op when consistent
+
+
+@pytest.mark.parametrize("victim", [0, 1, 2, 3])
+def test_single_tamper_always_detected(frng, field, victim):
+    coeffs, _, outputs = _setup(frng, field)
+    tampered = outputs.copy()
+    tampered[victim, 0] = field.add(tampered[victim, 0], 1)
+    report = IntegrityVerifier(coeffs).verify_forward(tampered)
+    assert not report.consistent
+    with pytest.raises(IntegrityError):
+        report.raise_on_failure()
+
+
+def test_k_prime_minus_one_security(frng, field):
+    """Even when all but one GPU lie, the decode disagreement is detected."""
+    coeffs, _, outputs = _setup(frng, field, k=2, m=1, extra=1)
+    tampered = outputs.copy()
+    for victim in range(coeffs.n_shares - 1):
+        tampered[victim] = field.add(tampered[victim], victim + 1)
+    report = IntegrityVerifier(coeffs).verify_forward(tampered)
+    assert not report.consistent
+
+
+def test_localisation_with_two_redundant_shares(frng, field):
+    """With >= 2 extra shares, the verifier can name the culprit."""
+    coeffs, _, outputs = _setup(frng, field, k=2, m=1, extra=2)
+    victim = 1
+    tampered = outputs.copy()
+    tampered[victim, 2] = field.add(tampered[victim, 2], 7)
+    verifier = IntegrityVerifier(coeffs, max_subsets=12)
+    report = verifier.verify_forward(tampered)
+    assert not report.consistent
+    assert victim in report.suspected_shares
+
+
+def test_localisation_impossible_with_single_extra_share(frng, field):
+    """One redundant share detects but cannot localise — expected behaviour."""
+    coeffs, _, outputs = _setup(frng, field, k=2, m=1, extra=1)
+    tampered = outputs.copy()
+    tampered[0, 0] = field.add(tampered[0, 0], 5)
+    report = IntegrityVerifier(coeffs).verify_forward(tampered)
+    assert not report.consistent
+    assert report.suspected_shares == ()
+
+
+def test_verifier_requires_redundancy(frng):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=0)
+    with pytest.raises(IntegrityError):
+        IntegrityVerifier(coeffs)
+
+
+def test_verifier_requires_two_subsets(frng):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=1)
+    with pytest.raises(IntegrityError):
+        IntegrityVerifier(coeffs, max_subsets=1)
+
+
+def test_noise_coordinate_tampering_detected(frng, field):
+    """A tamper that shifts only the recovered noise product is caught too."""
+    coeffs, batch, outputs = _setup(frng, field)
+    # Craft a tamper on the extra share (unused by the primary decode).
+    tampered = outputs.copy()
+    tampered[coeffs.n_shares - 1] = field.add(tampered[coeffs.n_shares - 1], 3)
+    report = IntegrityVerifier(coeffs).verify_forward(tampered)
+    assert not report.consistent
+
+
+def test_backward_verification(frng, field):
+    coeffs = CoefficientSet.generate(frng, k=2, m=1, extra_shares=1)
+    x = frng.uniform((2, 5))
+    batch = ForwardEncoder(coeffs, frng).encode(x)
+    deltas = frng.uniform((2, 3))
+    op = lambda d, xi: field_matmul(field, d.reshape(-1, 1), xi.reshape(1, -1))
+    encoder = BackwardEncoder(coeffs)
+    eq_primary = np.stack(
+        [op(encoder.combine_deltas(deltas, j), batch.shares[j]) for j in range(coeffs.n_shares)]
+    )
+    primary = BackwardDecoder(coeffs).decode(eq_primary)
+
+    alt = next(s for s in coeffs.iter_decoding_subsets() if s != coeffs.primary_subset)
+    b_alt, gamma = coeffs.backward_matrices_for_subset(alt)
+    eq_alt = np.stack(
+        [
+            op(field_matmul(field, b_alt[j].reshape(1, -1), deltas).ravel(), batch.shares[j])
+            for j in range(coeffs.n_shares)
+        ]
+    )
+    alternate = BackwardDecoder(coeffs).decode_with_matrices(eq_alt, b_alt, gamma)
+
+    verifier = IntegrityVerifier(coeffs)
+    ok = verifier.verify_backward({coeffs.primary_subset: primary, alt: alternate})
+    assert ok.consistent
+
+    bad = verifier.verify_backward(
+        {coeffs.primary_subset: primary, alt: field.add(alternate, 1)}
+    )
+    assert not bad.consistent
+    with pytest.raises(IntegrityError):
+        verifier.verify_backward({coeffs.primary_subset: primary})

@@ -1,0 +1,104 @@
+"""Tests for architecture specs: published counts and builder consistency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    SpecBuilder,
+    build_mini_mobilenet,
+    build_mini_resnet,
+    build_mini_vgg,
+    mini_mobilenet_spec,
+    mini_resnet_spec,
+    mini_vgg_spec,
+    mobilenet_v1_spec,
+    mobilenet_v2_spec,
+    resnet50_spec,
+    vgg16_spec,
+)
+
+
+def test_vgg16_published_counts():
+    spec = vgg16_spec()
+    assert spec.n_params == pytest.approx(138.36e6, rel=0.01)
+    assert spec.linear_macs_forward() == pytest.approx(15.47e9, rel=0.01)
+
+
+def test_resnet50_published_counts():
+    spec = resnet50_spec()
+    assert spec.n_params == pytest.approx(25.6e6, rel=0.02)
+    assert spec.linear_macs_forward() == pytest.approx(4.1e9, rel=0.03)
+
+
+def test_mobilenet_v1_published_counts():
+    spec = mobilenet_v1_spec()
+    assert spec.n_params == pytest.approx(4.2e6, rel=0.03)
+    assert spec.linear_macs_forward() == pytest.approx(0.57e9, rel=0.03)
+
+
+def test_mobilenet_v2_published_counts():
+    spec = mobilenet_v2_spec()
+    assert spec.n_params == pytest.approx(3.5e6, rel=0.03)
+    assert spec.linear_macs_forward() == pytest.approx(0.3e9, rel=0.05)
+
+
+def test_backward_macs_double_forward():
+    spec = vgg16_spec()
+    assert spec.linear_macs_backward() == 2 * spec.linear_macs_forward()
+
+
+def test_spec_queries():
+    spec = vgg16_spec()
+    assert spec.elementwise_ops(frozenset({"relu"})) > 0
+    assert spec.elementwise_ops(frozenset({"batchnorm"})) == 0  # VGG has no BN
+    assert resnet50_spec().elementwise_ops(frozenset({"batchnorm"})) > 0
+    assert spec.activation_bytes() > spec.max_activation_bytes() > 0
+    assert len(spec.layers_of_kind("conv")) == 13
+    assert len(spec.layers_of_kind("dense")) == 3
+    assert "VGG16" in spec.summary()
+
+
+def test_input_resolution_scales_macs():
+    big = vgg16_spec(input_size=224)
+    small = vgg16_spec(input_size=32)
+    assert big.linear_macs_forward() > small.linear_macs_forward()
+    # Dense layers differ (7x7 vs 1x1 feature maps), params differ too.
+    assert big.n_params != small.n_params
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        SpecBuilder("empty", (3, 8, 8)).build()
+
+
+@pytest.mark.parametrize(
+    "builder,spec_fn",
+    [
+        (build_mini_vgg, mini_vgg_spec),
+        (build_mini_resnet, mini_resnet_spec),
+        (build_mini_mobilenet, mini_mobilenet_spec),
+    ],
+)
+def test_mini_spec_matches_runnable_params(builder, spec_fn, nprng):
+    """The counted spec and the runnable network agree on parameter counts."""
+    net = builder(input_shape=(3, 16, 16), n_classes=10, rng=nprng, width=16)
+    spec = spec_fn(input_shape=(3, 16, 16), n_classes=10, width=16)
+    assert net.n_params == spec.n_params
+
+
+@pytest.mark.parametrize(
+    "builder", [build_mini_vgg, build_mini_resnet, build_mini_mobilenet]
+)
+def test_mini_models_run_forward_backward(builder, nprng):
+    from repro.nn import SoftmaxCrossEntropy
+
+    net = builder(input_shape=(3, 16, 16), n_classes=10, rng=nprng, width=8)
+    x = nprng.normal(size=(4, 3, 16, 16))
+    y = nprng.integers(0, 10, 4)
+    loss = SoftmaxCrossEntropy()
+    value = loss.forward(net.forward(x), y)
+    assert np.isfinite(value)
+    net.backward(loss.backward())
+    grads = [g for layer, _, _ in net.parameters() for g in layer.grads.values()]
+    assert grads and all(np.all(np.isfinite(g)) for g in grads)

@@ -1,0 +1,207 @@
+"""Gradient checks and contract tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    PlainBackend,
+    ReLU,
+    ResidualBlock,
+)
+
+BACKEND = PlainBackend()
+
+
+def _numeric_param_grad(layer, x, param_name, idx, eps=1e-6):
+    """Central-difference gradient of 0.5*||out||^2 wrt one parameter."""
+    p = layer.params[param_name]
+    p[idx] += eps
+    plus = 0.5 * np.sum(layer.forward(x, BACKEND) ** 2)
+    p[idx] -= 2 * eps
+    minus = 0.5 * np.sum(layer.forward(x, BACKEND) ** 2)
+    p[idx] += eps
+    return (plus - minus) / (2 * eps)
+
+
+def _check_param_grads(layer, x, samples=3, seed=0):
+    out = layer.forward(x, BACKEND, training=True)
+    layer.backward(out.copy(), BACKEND)  # d(0.5||out||^2)/dout = out
+    rng = np.random.default_rng(seed)
+    for name, grad in layer.grads.items():
+        flat_indices = rng.choice(grad.size, size=min(samples, grad.size), replace=False)
+        for flat in flat_indices:
+            idx = np.unravel_index(flat, grad.shape)
+            num = _numeric_param_grad(layer, x, name, idx)
+            assert grad[idx] == pytest.approx(num, rel=1e-4, abs=1e-7), (name, idx)
+
+
+def _check_input_grad(layer, x, samples=3, seed=1):
+    out = layer.forward(x, BACKEND, training=True)
+    grad_in = layer.backward(out.copy(), BACKEND)
+    rng = np.random.default_rng(seed)
+    eps = 1e-6
+    for flat in rng.choice(x.size, size=min(samples, x.size), replace=False):
+        idx = np.unravel_index(flat, x.shape)
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        num = (
+            0.5 * np.sum(layer.forward(xp, BACKEND) ** 2)
+            - 0.5 * np.sum(layer.forward(xm, BACKEND) ** 2)
+        ) / (2 * eps)
+        assert grad_in[idx] == pytest.approx(num, rel=1e-4, abs=1e-6), idx
+
+
+@pytest.fixture()
+def x_img(nprng):
+    return nprng.normal(size=(3, 2, 6, 6))
+
+
+def test_conv2d_grads(nprng, x_img):
+    layer = Conv2D(2, 4, 3, 1, 1, rng=nprng)
+    _check_param_grads(layer, x_img)
+    _check_input_grad(layer, x_img)
+
+
+def test_conv2d_strided_no_bias(nprng, x_img):
+    layer = Conv2D(2, 4, 3, 2, 1, bias=False, rng=nprng)
+    assert "b" not in layer.params
+    assert layer.output_shape((2, 6, 6)) == (4, 3, 3)
+    _check_param_grads(layer, x_img)
+
+
+def test_depthwise_grads(nprng, x_img):
+    layer = DepthwiseConv2D(2, 3, 1, 1, rng=nprng)
+    _check_param_grads(layer, x_img)
+    _check_input_grad(layer, x_img)
+
+
+def test_dense_grads(nprng):
+    layer = Dense(10, 4, rng=nprng)
+    x = nprng.normal(size=(5, 10))
+    _check_param_grads(layer, x)
+    _check_input_grad(layer, x)
+
+
+def test_batchnorm_grads(nprng, x_img):
+    layer = BatchNorm2D(2)
+    _check_param_grads(layer, x_img)
+    _check_input_grad(layer, x_img)
+
+
+def test_batchnorm_inference_uses_running_stats(nprng, x_img):
+    layer = BatchNorm2D(2, momentum=0.5)
+    for _ in range(10):
+        layer.forward(x_img, BACKEND, training=True)
+    out_eval = layer.forward(x_img, BACKEND, training=False)
+    # Running stats converge toward batch stats, so eval ~ standardised.
+    assert abs(out_eval.mean()) < 0.5
+
+
+def test_relu_maxpool_flatten_gap(nprng, x_img):
+    for layer in [ReLU(), MaxPool2D(2), AvgPool2D(2), Flatten(), GlobalAvgPool()]:
+        _check_input_grad(layer, x_img)
+
+
+def test_avgpool_shapes_and_values(nprng, x_img):
+    layer = AvgPool2D(2)
+    out = layer.forward(x_img, BACKEND)
+    assert out.shape == (3, 2, 3, 3)
+    assert out[0, 0, 0, 0] == pytest.approx(x_img[0, 0, :2, :2].mean())
+    assert layer.output_shape((2, 6, 6)) == (2, 3, 3)
+    with pytest.raises(ConfigurationError):
+        AvgPool2D(0)
+
+
+def test_residual_block_grads(nprng, x_img):
+    block = ResidualBlock(
+        body=[Conv2D(2, 2, 3, 1, 1, rng=nprng), BatchNorm2D(2)]
+    )
+    _check_input_grad(block, x_img)
+    assert block.n_params > 0
+
+
+def test_residual_block_with_projection(nprng, x_img):
+    block = ResidualBlock(
+        body=[Conv2D(2, 4, 3, 1, 1, rng=nprng)],
+        shortcut=[Conv2D(2, 4, 1, 1, 0, rng=nprng)],
+    )
+    out = block.forward(x_img, BACKEND)
+    assert out.shape == (3, 4, 6, 6)
+    assert block.output_shape((2, 6, 6)) == (4, 6, 6)
+    _check_input_grad(block, x_img)
+
+
+def test_residual_shape_mismatch_raises(nprng, x_img):
+    block = ResidualBlock(body=[Conv2D(2, 4, 3, 1, 1, rng=nprng)])
+    with pytest.raises(ConfigurationError):
+        block.forward(x_img, BACKEND)
+
+
+def test_backward_before_forward_raises(nprng, x_img):
+    for layer in [
+        Conv2D(2, 2, rng=nprng),
+        Dense(3, 2, rng=nprng),
+        ReLU(),
+        MaxPool2D(2),
+        AvgPool2D(2),
+        Flatten(),
+        GlobalAvgPool(),
+        BatchNorm2D(2),
+        DepthwiseConv2D(2, rng=nprng),
+    ]:
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.ones((1, 1)), BACKEND)
+
+
+def test_inference_forward_does_not_cache(nprng, x_img):
+    layer = Conv2D(2, 2, rng=nprng)
+    layer.forward(x_img, BACKEND, training=False)
+    with pytest.raises(ConfigurationError):
+        layer.backward(np.ones((3, 2, 6, 6)), BACKEND)
+
+
+def test_output_shape_validation(nprng):
+    with pytest.raises(ConfigurationError):
+        Conv2D(2, 2, rng=nprng).output_shape((3, 6, 6))
+    with pytest.raises(ConfigurationError):
+        Dense(10, 2, rng=nprng).output_shape((11,))
+    with pytest.raises(ConfigurationError):
+        BatchNorm2D(2).output_shape((3, 6, 6))
+    with pytest.raises(ConfigurationError):
+        DepthwiseConv2D(2, rng=nprng).output_shape((3, 6, 6))
+
+
+def test_geometry_validation(nprng):
+    with pytest.raises(ConfigurationError):
+        Conv2D(0, 2, rng=nprng)
+    with pytest.raises(ConfigurationError):
+        Dense(0, 2, rng=nprng)
+    with pytest.raises(ConfigurationError):
+        MaxPool2D(0)
+    with pytest.raises(ConfigurationError):
+        BatchNorm2D(0)
+    with pytest.raises(ConfigurationError):
+        BatchNorm2D(2, momentum=1.5)
+    with pytest.raises(ConfigurationError):
+        ResidualBlock(body=[])
+
+
+def test_unique_auto_names(nprng):
+    a = Conv2D(1, 1, rng=nprng)
+    b = Conv2D(1, 1, rng=nprng)
+    assert a.name != b.name
+    assert Dense(2, 2, rng=nprng, name="head").name == "head"
+
+
+def test_n_params(nprng):
+    layer = Conv2D(2, 4, 3, rng=nprng)
+    assert layer.n_params == 4 * 2 * 9 + 4

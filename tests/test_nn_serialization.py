@@ -1,0 +1,78 @@
+"""Tests for model checkpointing (parameters + BN running statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.data import cifar_like
+from repro.errors import ConfigurationError
+from repro.models import build_mini_resnet, build_mini_vgg
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.runtime import Trainer
+
+
+def test_roundtrip_preserves_predictions(tmp_path, nprng):
+    data = cifar_like(n_train=32, n_test=8, seed=0, size=8)
+    net = build_mini_resnet(input_shape=(3, 8, 8), n_classes=10, rng=nprng, width=8)
+    Trainer(net, lr=0.05).fit(data.x_train, data.y_train, epochs=1, batch_size=16)
+    expected = net.predict(data.x_test)
+
+    path = save_checkpoint(net, tmp_path / "ckpt")
+    assert path.suffix == ".npz"
+
+    fresh = build_mini_resnet(
+        input_shape=(3, 8, 8), n_classes=10, rng=np.random.default_rng(99), width=8
+    )
+    # Fresh nets have different auto layer names; remap by position so the
+    # checkpoint applies (names must match for load).
+    assert not np.allclose(fresh.predict(data.x_test), expected)
+    load_into = build_and_load_by_rename(net, fresh, path)
+    assert np.allclose(load_into.predict(data.x_test), expected)
+
+
+def build_and_load_by_rename(source, target, path):
+    """Align target layer names with the source's, then load."""
+    src_layers = list(source._walk_layers())
+    tgt_layers = list(target._walk_layers())
+    assert len(src_layers) == len(tgt_layers)
+    for s, t in zip(src_layers, tgt_layers):
+        t.name = s.name
+    load_checkpoint(target, path)
+    return target
+
+
+def test_bn_running_stats_saved(tmp_path, nprng):
+    net = build_mini_resnet(input_shape=(3, 8, 8), n_classes=10, rng=nprng, width=8)
+    x = nprng.normal(size=(8, 3, 8, 8))
+    net.forward(x, training=True)  # moves running stats off their init
+    path = save_checkpoint(net, tmp_path / "bn_ckpt.npz")
+    with np.load(path) as archive:
+        running_keys = [k for k in archive.files if k.startswith("__running__/")]
+    assert running_keys  # BN statistics present in the archive
+
+
+def test_missing_file_raises(tmp_path, nprng):
+    net = build_mini_vgg(input_shape=(3, 8, 8), n_classes=10, rng=nprng, width=8)
+    with pytest.raises(ConfigurationError):
+        load_checkpoint(net, tmp_path / "nope.npz")
+
+
+def test_wrong_architecture_raises(tmp_path, nprng):
+    small = build_mini_vgg(input_shape=(3, 8, 8), n_classes=10, rng=nprng, width=8)
+    path = save_checkpoint(small, tmp_path / "small.npz")
+    bigger = build_mini_vgg(
+        input_shape=(3, 8, 8), n_classes=10, rng=np.random.default_rng(1), width=16
+    )
+    # Align names so the mismatch is about *shapes*, not key names.
+    for s, t in zip(small._walk_layers(), bigger._walk_layers()):
+        t.name = s.name
+    with pytest.raises(ConfigurationError):
+        load_checkpoint(bigger, path)
+
+
+def test_vgg_checkpoint_without_bn(tmp_path, nprng):
+    """Models without BN round-trip too (no running-stat keys expected)."""
+    net = build_mini_vgg(input_shape=(3, 8, 8), n_classes=10, rng=nprng, width=8)
+    path = save_checkpoint(net, tmp_path / "vgg")
+    with np.load(path) as archive:
+        assert not [k for k in archive.files if k.startswith("__running__/")]
+    load_checkpoint(net, path)  # idempotent reload

@@ -1,0 +1,64 @@
+"""Tests for the Table-1 calibration utility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import vgg16_spec
+from repro.perf import (
+    CostModel,
+    GpuProfile,
+    SgxProfile,
+    SystemProfile,
+    Table1Targets,
+    calibrate_sgx_from_table1,
+    verify_calibration,
+)
+
+
+def test_default_targets_reproduce_shipped_profiles():
+    sgx, gpu = calibrate_sgx_from_table1(Table1Targets())
+    shipped_sgx, shipped_gpu = SgxProfile(), GpuProfile()
+    assert sgx.linear_macs_per_s == pytest.approx(shipped_sgx.linear_macs_per_s, rel=0.01)
+    assert gpu.linear_macs_per_s_backward == pytest.approx(
+        shipped_gpu.linear_macs_per_s_backward, rel=0.01
+    )
+    assert verify_calibration(sgx, gpu, Table1Targets())
+
+
+def test_custom_targets_hit_exactly():
+    targets = Table1Targets(
+        linear_forward=100.0,
+        linear_backward=120.0,
+        maxpool_forward=10.0,
+        maxpool_backward=4.0,
+        relu_forward=80.0,
+        relu_backward=5.0,
+    )
+    sgx, gpu = calibrate_sgx_from_table1(targets)
+    assert verify_calibration(sgx, gpu, targets)
+    assert not verify_calibration(sgx, gpu, Table1Targets())  # wrong targets fail
+
+
+def test_calibrated_system_predicts_targets_through_cost_model():
+    targets = Table1Targets(linear_forward=200.0, linear_backward=250.0)
+    sgx, gpu = calibrate_sgx_from_table1(targets)
+    cm = CostModel(SystemProfile(sgx=sgx, gpu=gpu))
+    spec = vgg16_spec()
+    assert cm.sgx_linear_time(spec) / cm.gpu_linear_time(spec) == pytest.approx(200.0)
+    assert cm.sgx_linear_time(spec, backward=True) / cm.gpu_linear_time(
+        spec, backward=True
+    ) == pytest.approx(250.0)
+
+
+def test_targets_validation():
+    with pytest.raises(ConfigurationError):
+        Table1Targets(linear_forward=0.0)
+    with pytest.raises(ConfigurationError):
+        Table1Targets(relu_backward=-1.0)
+
+
+def test_non_targeted_fields_preserved():
+    base = SgxProfile()
+    sgx, _ = calibrate_sgx_from_table1(Table1Targets(), base=base)
+    assert sgx.field_macs_per_s == base.field_macs_per_s
+    assert sgx.epc_usable_bytes == base.epc_usable_bytes

@@ -1,0 +1,126 @@
+"""Tests for the event-driven pipeline simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models import vgg16_spec
+from repro.perf import (
+    CostModel,
+    Stage,
+    build_timeline,
+    darknight_stage_chain,
+    simulate,
+    simulate_darknight_training,
+)
+from repro.runtime import DarKnightConfig
+
+CHAIN = darknight_stage_chain(
+    encode=1.0, scatter=0.5, compute=2.0, gather=0.5, decode_nonlinear=3.0
+)
+
+
+def test_non_pipelined_makespan_is_sum():
+    result = simulate(CHAIN, n_batches=4, pipelined=False)
+    assert result.makespan == pytest.approx(4 * 7.0)
+    assert len(result.events) == 4 * 5
+
+
+def test_pipelined_steady_state_is_bottleneck_bound():
+    """Makespan -> bottleneck * n + fill; TEE (1+3=4s/batch) is the bottleneck."""
+    n = 32
+    result = simulate(CHAIN, n_batches=n, pipelined=True)
+    bottleneck = 4.0  # tee: encode 1.0 + decode/nonlinear 3.0 per batch
+    assert result.makespan >= bottleneck * n
+    assert result.makespan <= bottleneck * n + 7.0  # one chain's worth of fill
+
+
+def test_pipelined_never_slower_than_serial():
+    for n in (1, 2, 5, 16):
+        serial = simulate(CHAIN, n, pipelined=False).makespan
+        piped = simulate(CHAIN, n, pipelined=True).makespan
+        assert piped <= serial + 1e-12
+    # Single batch: no overlap opportunity, identical makespans.
+    assert simulate(CHAIN, 1, True).makespan == pytest.approx(
+        simulate(CHAIN, 1, False).makespan
+    )
+
+
+def test_no_resource_double_booking():
+    result = simulate(CHAIN, n_batches=10, pipelined=True)
+    for resource in ("tee", "link", "gpu"):
+        intervals = sorted(
+            (e.start, e.end)
+            for e in result.events
+            if e.stage.resource == resource
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-12, f"{resource} double-booked"
+
+
+def test_stage_dependencies_respected():
+    result = simulate(CHAIN, n_batches=6, pipelined=True)
+    by_batch: dict[int, list] = {}
+    for event in result.events:
+        by_batch.setdefault(event.batch, []).append(event)
+    order = {s.name: i for i, s in enumerate(CHAIN)}
+    for events in by_batch.values():
+        events.sort(key=lambda e: order[e.stage.name])
+        for a, b in zip(events, events[1:]):
+            assert b.start >= a.end - 1e-12
+
+
+def test_utilisation_of_bottleneck_approaches_one():
+    result = simulate(CHAIN, n_batches=64, pipelined=True)
+    assert result.utilisation("tee") > 0.9
+    assert result.utilisation("gpu") < result.utilisation("tee")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    durations=st.lists(st.floats(0.0, 5.0), min_size=5, max_size=5),
+    n=st.integers(1, 12),
+)
+def test_simulator_invariants_hold_for_any_durations(durations, n):
+    chain = darknight_stage_chain(*durations)
+    serial = simulate(chain, n, pipelined=False)
+    piped = simulate(chain, n, pipelined=True)
+    assert serial.makespan == pytest.approx(n * sum(durations))
+    assert piped.makespan <= serial.makespan + 1e-9
+    # Pipelined can never beat the per-resource lower bound.
+    for resource in ("tee", "link", "gpu"):
+        busy = serial.resource_busy_time(resource)
+        assert piped.makespan >= busy - 1e-9
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        simulate([], 3, True)
+    with pytest.raises(ConfigurationError):
+        simulate(CHAIN, 0, True)
+    with pytest.raises(ConfigurationError):
+        Stage("bad", "quantum", 1.0)
+    with pytest.raises(ConfigurationError):
+        Stage("bad", "tee", -1.0)
+
+
+def test_event_simulation_confirms_analytical_pipeline_model():
+    """The Fig. 5 claim, earned: the analytical max-stream number is the
+    asymptotic lower bound of the simulated pipelined schedule, which
+    approaches it from above as batches amortise the fill (greedy list
+    scheduling on a flow shop carries a small inherent overhead)."""
+    cm = CostModel()
+    breakdown = cm.darknight_training(vgg16_spec(), DarKnightConfig(virtual_batch_size=2))
+    timeline = build_timeline(breakdown)
+    per_batch = {}
+    for n in (16, 64, 256):
+        result = simulate_darknight_training(breakdown, n_batches=n, pipelined=True)
+        per_batch[n] = result.makespan / n
+        # Never below the bottleneck bound, never far above it.
+        assert per_batch[n] >= timeline.pipelined - 1e-12
+        assert per_batch[n] <= timeline.pipelined * 1.25
+    # Converges toward the analytical bound as the pipeline fills.
+    assert per_batch[256] < per_batch[64] < per_batch[16]
+    serial = simulate_darknight_training(breakdown, n_batches=64, pipelined=False)
+    assert serial.makespan / 64 == pytest.approx(timeline.non_pipelined, rel=1e-6)

@@ -1,0 +1,54 @@
+"""Direct tests for the analytical timeline helpers."""
+
+import pytest
+
+from repro.perf import (
+    PhaseBreakdown,
+    build_timeline,
+    non_pipelined_linear_time,
+    pipelined_linear_time,
+)
+
+
+@pytest.fixture()
+def breakdown():
+    return PhaseBreakdown(
+        linear=2.0, nonlinear=5.0, encode_decode=1.0, communication=3.0
+    )
+
+
+def test_streams_mapping(breakdown):
+    tl = build_timeline(breakdown)
+    assert tl.tee_stream == 6.0  # nonlinear + encode/decode
+    assert tl.gpu_stream == 2.0
+    assert tl.link_stream == 3.0
+
+
+def test_non_pipelined_is_total(breakdown):
+    tl = build_timeline(breakdown)
+    assert tl.non_pipelined == pytest.approx(breakdown.total) == 11.0
+
+
+def test_pipelined_is_slowest_stream(breakdown):
+    tl = build_timeline(breakdown)
+    assert tl.pipelined == 6.0
+    assert tl.pipeline_gain == pytest.approx(11.0 / 6.0)
+
+
+def test_pipeline_gain_handles_zero():
+    tl = build_timeline(PhaseBreakdown(linear=0, nonlinear=0))
+    assert tl.pipeline_gain == float("inf")
+
+
+def test_linear_time_definitions(breakdown):
+    # The paper's Section 7.1 category definitions.
+    assert non_pipelined_linear_time(breakdown) == 5.0  # linear + comm
+    assert pipelined_linear_time(breakdown) == 2.0  # pure GPU compute
+
+
+def test_gpu_bound_workload_pipelines_to_gpu_stream():
+    gpu_bound = PhaseBreakdown(
+        linear=10.0, nonlinear=1.0, encode_decode=0.5, communication=2.0
+    )
+    tl = build_timeline(gpu_bound)
+    assert tl.pipelined == 10.0

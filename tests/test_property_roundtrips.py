@@ -1,0 +1,129 @@
+"""Composed property tests: the full masked pipeline as one invariant.
+
+The unit suites pin each stage; these hypothesis tests compose them the way
+the runtime does and assert the end-to-end contracts:
+
+* quantize -> mask -> GPU bilinear -> decode -> dequantize equals the
+  quantized float reference *bit for bit*, for arbitrary shapes, K, M and
+  value ranges (with dynamic normalisation absorbing the range);
+* the sealed Algorithm-2 aggregation is a homomorphism: sum of parts equals
+  the whole, for arbitrary shard counts and shapes;
+* the EPC model's accounting invariants survive arbitrary operation
+  sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.enclave import Enclave, EpcModel
+from repro.errors import EnclaveError
+from repro.fieldmath import FieldRng, PrimeField, field_matmul
+from repro.masking import CoefficientSet, ForwardDecoder, ForwardEncoder
+from repro.quantization import DynamicNormalizer, QuantizationConfig
+from repro.runtime import LargeBatchAggregator
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    k=st.integers(1, 3),
+    m=st.integers(1, 2),
+    features=st.integers(2, 10),
+    out_features=st.integers(1, 5),
+    magnitude=st.floats(0.1, 50.0),
+    seed=st.integers(0, 10_000),
+)
+def test_full_masked_linear_pipeline_is_exact(k, m, features, out_features, magnitude, seed):
+    """Masked result == quantized float reference, any shape/range/K/M."""
+    field = PrimeField()
+    frng = FieldRng(field, seed)
+    npr = np.random.default_rng(seed)
+    quantizer = QuantizationConfig(field=field)
+    normalizer = DynamicNormalizer()
+
+    x = npr.normal(scale=magnitude, size=(k, features))
+    w = npr.normal(scale=magnitude, size=(features, out_features))
+    xs, xn = normalizer.normalize(x)
+    ws, wn = normalizer.normalize(w)
+    x_q = quantizer.quantize(xs)
+    w_q = quantizer.quantize(ws)
+
+    coeffs = CoefficientSet.generate(frng, k=k, m=m)
+    encoded = ForwardEncoder(coeffs, frng).encode(x_q)
+    gpu_outputs = np.stack(
+        [field_matmul(field, s.reshape(1, -1), w_q).ravel() for s in encoded.shares]
+    )
+    decoded = ForwardDecoder(coeffs).decode(gpu_outputs)
+    result = quantizer.dequantize_product(decoded) * (xn.factor * wn.factor)
+
+    x_signed = field.to_signed(x_q).astype(np.float64)
+    w_signed = field.to_signed(w_q).astype(np.float64)
+    reference = (
+        np.floor(x_signed @ w_signed / quantizer.scale + 0.5)
+        / quantizer.scale
+        * (xn.factor * wn.factor)
+    )
+    assert np.array_equal(result, reference)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_updates=st.integers(1, 5),
+    n_shards=st.integers(1, 6),
+    size=st.integers(1, 40),
+    seed=st.integers(0, 10_000),
+)
+def test_sealed_aggregation_is_exact_sum(n_updates, n_shards, size, seed):
+    """Algorithm 2 over any shapes/shard counts equals the direct sum."""
+    enclave = Enclave(seed=seed)
+    agg = LargeBatchAggregator(enclave, n_shards=n_shards)
+    npr = np.random.default_rng(seed)
+    updates = [npr.normal(size=(size,)) for _ in range(n_updates)]
+    for i, update in enumerate(updates):
+        agg.add_update(f"vb{i}", update)
+    total = agg.aggregate([f"vb{i}" for i in range(n_updates)])
+    assert np.allclose(total, np.sum(updates, axis=0), atol=1e-12)
+    assert enclave.untrusted_store.keys() == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 40), min_size=1, max_size=12),
+    usable=st.integers(10, 80),
+)
+def test_epc_accounting_invariants(sizes, usable):
+    """Resident never negative, peak is monotone, overflow consistent."""
+    epc = EpcModel(usable_bytes=usable)
+    live = {}
+    peak_seen = 0
+    for i, size in enumerate(sizes):
+        epc.allocate(f"a{i}", size)
+        live[f"a{i}"] = size
+        peak_seen = max(peak_seen, sum(live.values()))
+        assert epc.resident_bytes == sum(live.values())
+        assert epc.peak_bytes == peak_seen
+        assert epc.overflow_bytes == max(0, epc.resident_bytes - usable)
+        if i % 2 == 1:
+            tag, _ = live.popitem()
+            epc.free(tag)
+            assert epc.resident_bytes == sum(live.values())
+    assert epc.stats.paged_out_bytes >= 0
+    assert epc.stats.paged_in_bytes >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), shape=st.tuples(st.integers(1, 6), st.integers(1, 6)))
+def test_seal_unseal_identity_for_any_array(seed, shape):
+    """Sealing round-trips arbitrary float arrays exactly."""
+    enclave = Enclave(seed=seed)
+    arr = np.random.default_rng(seed).normal(size=shape)
+    enclave.seal_and_evict("blob", arr)
+    assert np.array_equal(enclave.reload_and_unseal("blob"), arr)
+
+
+def test_enclave_fit_check_consistent_with_epc():
+    enclave = Enclave(epc=EpcModel(usable_bytes=100), seed=0)
+    enclave.require_fits(100, "exactly fits")
+    with pytest.raises(EnclaveError):
+        enclave.require_fits(101, "one byte too many")

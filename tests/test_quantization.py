@@ -1,0 +1,146 @@
+"""Tests for Algorithm 1 fixed-point quantization and dynamic normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quantization import (
+    IDENTITY,
+    DynamicNormalizer,
+    Normalization,
+    QuantizationConfig,
+    round_half_up,
+)
+
+
+def test_round_half_up_ties_go_up():
+    values = np.array([0.5, 1.5, -0.5, -1.5, 2.4, -2.4])
+    assert round_half_up(values).tolist() == [1.0, 2.0, 0.0, -1.0, 2.0, -2.0]
+
+
+def test_config_validation():
+    with pytest.raises(QuantizationError):
+        QuantizationConfig(fractional_bits=0)
+    with pytest.raises(QuantizationError):
+        QuantizationConfig(fractional_bits=13)  # 2*13 bits >= field headroom
+
+
+def test_scales():
+    q = QuantizationConfig(fractional_bits=8)
+    assert q.scale == 256
+    assert q.product_scale == 65536
+    assert q.resolution == 1 / 256
+    assert q.quantization_error_bound() == 0.5 / 256
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=32
+    )
+)
+def test_quantize_dequantize_roundtrip_within_resolution(values):
+    q = QuantizationConfig()
+    arr = np.array(values)
+    recovered = q.dequantize(q.quantize(arr))
+    assert np.all(np.abs(recovered - arr) <= q.quantization_error_bound() + 1e-12)
+
+
+def test_bias_uses_product_scale(field):
+    q = QuantizationConfig()
+    bias = np.array([0.5, -0.25])
+    encoded = q.quantize(bias, bias=True)
+    assert np.array_equal(
+        field.to_signed(encoded), (bias * q.product_scale).astype(np.int64)
+    )
+
+
+def test_product_dequantization_matches_reference():
+    q = QuantizationConfig()
+    x = np.array([0.5, -1.25])
+    w = np.array([0.75, 0.5])
+    xq = q.quantize(x)
+    wq = q.quantize(w)
+    prod = q.field.mul(xq, wq)  # elementwise product at scale 2^2l
+    back = q.dequantize_product(prod)
+    assert np.all(np.abs(back - x * w) < 0.01)
+
+
+def test_overflow_raises_with_context():
+    q = QuantizationConfig()
+    with pytest.raises(QuantizationError, match="fractional_bits"):
+        q.quantize(np.array([1e6]))
+
+
+def test_saturate_clips_instead():
+    q = QuantizationConfig(saturate=True)
+    out = q.quantize(np.array([1e9, -1e9]))
+    signed = q.field.to_signed(out)
+    assert signed[0] == q.field.half
+    assert signed[1] == -q.field.half
+
+
+def test_headroom_and_max_safe_product():
+    q = QuantizationConfig()
+    assert q.headroom(q.max_safe_product()) == pytest.approx(1.0)
+    assert q.headroom(q.max_safe_product() * 2) == pytest.approx(2.0)
+
+
+def test_quantize_weights_alias():
+    q = QuantizationConfig()
+    w = np.array([0.1, -0.2])
+    assert np.array_equal(q.quantize_weights(w), q.quantize(w))
+
+
+# ----------------------------------------------------------------------
+# dynamic normalisation
+# ----------------------------------------------------------------------
+def test_normalizer_leaves_small_tensors_alone():
+    norm = DynamicNormalizer()
+    x = np.array([0.5, -0.9])
+    scaled, n = norm.normalize(x)
+    assert n is IDENTITY
+    assert np.array_equal(scaled, x)
+
+
+def test_normalizer_scales_to_ceiling():
+    norm = DynamicNormalizer(ceiling=1.0)
+    x = np.array([4.0, -2.0])
+    scaled, n = norm.normalize(x)
+    assert np.max(np.abs(scaled)) == pytest.approx(1.0)
+    assert n.factor == pytest.approx(4.0)
+
+
+def test_normalization_product_unapply():
+    a = Normalization(3.0)
+    b = Normalization(2.0)
+    product = np.array([1.0])
+    assert a.unapply_product(product, b)[0] == pytest.approx(6.0)
+    assert IDENTITY.unapply_product(product, IDENTITY)[0] == pytest.approx(1.0)
+
+
+def test_normalizer_rejects_bad_ceiling():
+    with pytest.raises(QuantizationError):
+        DynamicNormalizer(ceiling=0.0)
+
+
+def test_normalizer_zero_tensor():
+    scaled, n = DynamicNormalizer().normalize(np.zeros(4))
+    assert n is IDENTITY
+    assert np.array_equal(scaled, np.zeros(4))
+
+
+def test_normalized_quantized_linear_op_roundtrip():
+    # End-to-end: normalise, quantize, multiply in field, dequantize, unapply.
+    q = QuantizationConfig()
+    norm = DynamicNormalizer()
+    rng = np.random.default_rng(0)
+    x = rng.normal(scale=5.0, size=(8,))
+    w = rng.normal(scale=3.0, size=(8,))
+    xs, xn = norm.normalize(x)
+    ws, wn = norm.normalize(w)
+    prod_field = q.field.mul(q.quantize(xs), q.quantize(ws))
+    recovered = q.dequantize_product(prod_field) * (xn.factor * wn.factor)
+    assert np.all(np.abs(recovered - x * w) < np.abs(x * w) * 0.1 + 0.5)

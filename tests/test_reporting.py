@@ -1,0 +1,40 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import render_series, render_table
+
+
+def test_render_table_basic():
+    out = render_table(
+        ["Model", "Speedup"], [["VGG16", 8.01], ["ResNet50", 4.2]], title="Fig 5"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Fig 5"
+    assert "Model" in lines[1] and "Speedup" in lines[1]
+    assert "-+-" in lines[2]
+    assert "VGG16" in lines[3]
+    assert "8.01" in lines[3]
+
+
+def test_render_table_validation():
+    with pytest.raises(ConfigurationError):
+        render_table(["a"], [])
+    with pytest.raises(ConfigurationError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_render_table_number_formatting():
+    out = render_table(["x"], [[0.000123], [12345.6], [1.5], [0]])
+    assert "1.230e-04" in out
+    assert "1.235e+04" in out
+    assert "1.5" in out
+
+
+def test_render_series():
+    out = render_series("aggregation speedup", [2, 4], [1.9, 3.7], unit="x")
+    assert "aggregation speedup" in out
+    assert "2" in out and "3.7 x" in out
+    with pytest.raises(ConfigurationError):
+        render_series("s", [1], [1.0, 2.0])

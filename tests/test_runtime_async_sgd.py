@@ -1,0 +1,107 @@
+"""Tests for staleness-aware asynchronous SGD (the pipelined-training mode)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Dense, PlainBackend, Sequential, SoftmaxCrossEntropy
+from repro.runtime import StalenessAwareSGD
+
+
+def _net(rng):
+    return Sequential([Dense(6, 3, rng=rng)], input_shape=(6,))
+
+
+def _one_backward(net, x, y):
+    loss = SoftmaxCrossEntropy()
+    logits = net.forward(x, PlainBackend(), training=True)
+    value = loss.forward(logits, y)
+    net.backward(loss.backward(), PlainBackend())
+    return value
+
+
+def test_depth_zero_matches_plain_sgd(nprng):
+    x = nprng.normal(size=(8, 6))
+    y = nprng.integers(0, 3, 8)
+
+    rng_a = np.random.default_rng(1)
+    plain_net = _net(rng_a)
+    from repro.nn import SGD
+
+    plain_opt = SGD(plain_net, lr=0.1)
+    rng_b = np.random.default_rng(1)
+    async_net = _net(rng_b)
+    async_opt = StalenessAwareSGD(async_net, lr=0.1, pipeline_depth=0)
+
+    for _ in range(5):
+        _one_backward(plain_net, x, y)
+        plain_opt.step()
+        plain_opt.zero_grad()
+        _one_backward(async_net, x, y)
+        async_opt.step()
+    for a, b in zip(plain_net.state_dict().values(), async_net.state_dict().values()):
+        assert np.allclose(a, b)
+
+
+def test_updates_are_delayed_by_pipeline_depth(nprng):
+    net = _net(nprng)
+    opt = StalenessAwareSGD(net, lr=0.1, pipeline_depth=2)
+    x = nprng.normal(size=(4, 6))
+    y = nprng.integers(0, 3, 4)
+    before = {k: v.copy() for k, v in net.state_dict().items()}
+    # Two steps fill the pipeline without applying anything.
+    for _ in range(2):
+        _one_backward(net, x, y)
+        opt.step()
+    assert opt.in_flight == 2
+    for k, v in net.state_dict().items():
+        assert np.array_equal(v, before[k]), "update applied too early"
+    # Third step pops the first update.
+    _one_backward(net, x, y)
+    opt.step()
+    assert opt.in_flight == 2
+    changed = any(
+        not np.array_equal(v, before[k]) for k, v in net.state_dict().items()
+    )
+    assert changed
+
+
+def test_staleness_scaling_recorded(nprng):
+    net = _net(nprng)
+    opt = StalenessAwareSGD(net, lr=0.1, pipeline_depth=2)
+    x = nprng.normal(size=(4, 6))
+    y = nprng.integers(0, 3, 4)
+    for _ in range(6):
+        _one_backward(net, x, y)
+        opt.step()
+    opt.drain()
+    assert opt.in_flight == 0
+    assert all(s >= 0 for s in opt.staleness_applied)
+    assert max(opt.staleness_applied) >= 1  # pipelining produced stale updates
+
+
+def test_stale_training_still_converges(nprng):
+    """The Zhang-et-al. scaling keeps delayed-gradient training stable."""
+    net = _net(np.random.default_rng(3))
+    opt = StalenessAwareSGD(net, lr=0.2, pipeline_depth=2, momentum=0.5)
+    x = nprng.normal(size=(16, 6))
+    y = nprng.integers(0, 3, 16)
+    losses = []
+    for _ in range(40):
+        losses.append(_one_backward(net, x, y))
+        opt.step()
+    opt.drain()
+    assert losses[-1] < 0.5 * losses[0]
+
+
+def test_validation(nprng):
+    net = _net(nprng)
+    with pytest.raises(ConfigurationError):
+        StalenessAwareSGD(net, lr=0)
+    with pytest.raises(ConfigurationError):
+        StalenessAwareSGD(net, pipeline_depth=-1)
+    with pytest.raises(ConfigurationError):
+        StalenessAwareSGD(net, momentum=1.0)
+    opt = StalenessAwareSGD(net)
+    with pytest.raises(ConfigurationError):
+        opt.step()  # no gradients recorded

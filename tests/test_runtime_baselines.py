@@ -1,0 +1,71 @@
+"""Tests for the SGX-only and GPU-only baseline backends."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, Flatten, PlainBackend, ReLU, Sequential
+from repro.runtime import GpuOnlyBackend, SgxOnlyBackend
+
+
+@pytest.fixture()
+def net(nprng):
+    return Sequential(
+        [Conv2D(1, 2, 3, 1, 1, rng=nprng), ReLU(), Flatten(), Dense(2 * 16, 3, rng=nprng)],
+        input_shape=(1, 4, 4),
+    )
+
+
+def test_sgx_only_is_numerically_identical_to_plain(net, nprng):
+    x = nprng.normal(size=(3, 1, 4, 4))
+    sgx = SgxOnlyBackend()
+    assert np.allclose(net.forward(x, sgx), net.forward(x, PlainBackend()))
+
+
+def test_sgx_only_charges_the_enclave(net, nprng):
+    sgx = SgxOnlyBackend()
+    x = nprng.normal(size=(3, 1, 4, 4))
+    net.forward(x, sgx)
+    net.backward(np.ones((3, 3)), sgx)
+    ops = sgx.enclave.ledger.op_counts
+    assert ops["sgx_conv2d_forward"] == 1
+    assert ops["sgx_dense_forward"] == 1
+    assert ops["sgx_conv2d_grad_w"] == 1
+    assert ops["sgx_dense_grad_w"] == 1
+    assert sgx.enclave.ledger.op_bytes["sgx_conv2d_forward"] > 0
+
+
+def test_sgx_only_counts_paging_on_big_working_sets(nprng):
+    from repro.enclave import Enclave, EpcModel
+
+    sgx = SgxOnlyBackend(Enclave(epc=EpcModel(usable_bytes=1024)))
+    x = nprng.normal(size=(2, 1, 16, 16))
+    w = nprng.normal(size=(4, 1, 3, 3))
+    sgx.conv2d_forward(x, w, None, 1, 1, "c")
+    assert sgx.enclave.epc.stats.total_paged_bytes > 0
+
+
+def test_gpu_only_is_numerically_identical_to_plain(net, nprng):
+    x = nprng.normal(size=(3, 1, 4, 4))
+    gpu = GpuOnlyBackend()
+    assert np.allclose(net.forward(x, gpu), net.forward(x, PlainBackend()))
+
+
+def test_gpu_only_splits_work_across_devices(net, nprng):
+    gpu = GpuOnlyBackend()
+    x = nprng.normal(size=(3, 1, 4, 4))
+    net.forward(x, gpu)
+    net.backward(np.ones((3, 3)), gpu)
+    macs = [dev.ledger.mac_ops for dev in gpu.cluster.devices]
+    assert len(macs) == 3
+    assert all(m > 0 for m in macs)
+    assert max(macs) - min(macs) <= 1  # even split
+
+
+def test_gpu_only_training_learns(net, nprng):
+    from repro.runtime import Trainer
+
+    x = nprng.normal(size=(12, 1, 4, 4))
+    y = nprng.integers(0, 3, 12)
+    trainer = Trainer(net, GpuOnlyBackend(), lr=0.05, momentum=0.9)
+    losses = [trainer.train_step(x, y) for _ in range(15)]
+    assert losses[-1] < losses[0]

@@ -1,0 +1,129 @@
+"""Tests for the detect-quarantine-retry integrity recovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrityError
+from repro.fieldmath import FieldRng, PrimeField, field_matmul
+from repro.gpu import GpuCluster, RandomTamper
+from repro.runtime import RecoveringExecutor
+
+K, M = 2, 1
+N_SHARES = K + M + 1  # one redundant share for detection
+
+
+def _gpu_op(cluster, w):
+    """Dense op via the device method (so fault injectors apply)."""
+    cluster.broadcast_weights("w", w)
+
+    def op(device, key):
+        return device.dense_forward(key, "w")
+
+    return op
+
+
+@pytest.fixture()
+def field():
+    return PrimeField()
+
+
+@pytest.fixture()
+def rng(field):
+    return FieldRng(field, seed=0)
+
+
+@pytest.fixture()
+def inputs(rng):
+    return rng.uniform((K, 6))
+
+
+@pytest.fixture()
+def weights(rng):
+    return rng.uniform((6, 3))
+
+
+def _expected(field, inputs, weights):
+    return np.stack(
+        [field_matmul(field, x.reshape(1, -1), weights).ravel() for x in inputs]
+    )
+
+
+def test_honest_cluster_needs_one_attempt(field, rng, inputs, weights):
+    cluster = GpuCluster(field, N_SHARES)
+    executor = RecoveringExecutor(cluster, rng)
+    result, report = executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+    assert np.array_equal(result, _expected(field, inputs, weights))
+    assert report.attempts == 1
+    assert not report.was_attacked
+    assert report.recovered
+
+
+def test_byzantine_device_is_benched_and_computation_recovers(field, rng, inputs, weights):
+    """One persistent liar + one spare device: recovery succeeds."""
+    cluster = GpuCluster(
+        field,
+        N_SHARES + 1,
+        fault_injectors={1: RandomTamper(field, probability=1.0, seed=3)},
+    )
+    executor = RecoveringExecutor(cluster, rng)
+    result, report = executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+    assert np.array_equal(result, _expected(field, inputs, weights))
+    assert report.was_attacked
+    assert 1 in executor.quarantined_devices
+    assert report.recovered
+
+
+def test_no_spare_capacity_raises(field, rng, inputs, weights):
+    cluster = GpuCluster(
+        field,
+        N_SHARES,  # no spare: quarantining anyone drops below the share count
+        fault_injectors={0: RandomTamper(field, probability=1.0, seed=3)},
+    )
+    executor = RecoveringExecutor(cluster, rng)
+    with pytest.raises(IntegrityError):
+        executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+
+
+def test_fully_byzantine_pool_exhausts_retries(field, rng, inputs, weights):
+    cluster = GpuCluster(
+        field,
+        N_SHARES + 3,
+        fault_injectors={
+            i: RandomTamper(field, probability=1.0, seed=i) for i in range(N_SHARES + 3)
+        },
+    )
+    executor = RecoveringExecutor(cluster, rng, max_retries=3)
+    with pytest.raises(IntegrityError):
+        executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+
+
+def test_pardon_returns_device_to_pool(field, rng, inputs, weights):
+    cluster = GpuCluster(
+        field,
+        N_SHARES + 1,
+        fault_injectors={0: RandomTamper(field, probability=1.0, seed=2)},
+    )
+    executor = RecoveringExecutor(cluster, rng)
+    executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+    benched = executor.quarantined_devices
+    assert benched
+    executor.pardon(benched[0])
+    assert benched[0] not in executor.quarantined_devices
+
+
+def test_invalid_retry_budget(field, rng):
+    with pytest.raises(IntegrityError):
+        RecoveringExecutor(GpuCluster(field, 4), rng, max_retries=0)
+
+
+def test_intermittent_attacker_eventually_benched(field, rng, inputs, weights):
+    """A liar that only sometimes tampers still gets caught and benched."""
+    cluster = GpuCluster(
+        field,
+        N_SHARES + 1,
+        fault_injectors={2: RandomTamper(field, probability=0.7, seed=9)},
+    )
+    executor = RecoveringExecutor(cluster, rng, max_retries=8)
+    for _ in range(4):
+        result, _ = executor.execute_forward(inputs, K, M, _gpu_op(cluster, weights))
+        assert np.array_equal(result, _expected(field, inputs, weights))
