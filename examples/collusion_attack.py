@@ -11,7 +11,7 @@ This example provisions M = 2, then:
   information and correlation of shares vs. inputs sit at the estimator
   floor, while an unmasked control blows up.
 
-Run:  python examples/collusion_attack.py
+Run:  python examples/collusion_attack.py [--seed N]
 """
 
 from repro.analysis import (
@@ -19,25 +19,29 @@ from repro.analysis import (
     run_collusion_attack,
     share_input_dependence,
 )
+from repro.cli import parse_seed_flag
 from repro.fieldmath import FieldRng, PrimeField
 
 K, M = 3, 2
+SEED = parse_seed_flag(default=0)
 
 
 def main() -> None:
     field = PrimeField()
-    rng = FieldRng(field, seed=0)
+    rng = FieldRng(field, seed=SEED)
     inputs = rng.uniform((K, 64))
 
     print(f"masking K={K} inputs with M={M} noise vectors -> {K + M} shares\n")
     for coalition in [(0,), (0, 1), (1, 3), (0, 1, 2), tuple(range(K + M))]:
-        result = run_collusion_attack(field, inputs, coalition, k=K, m=M, seed=1)
+        result = run_collusion_attack(field, inputs, coalition, k=K, m=M, seed=SEED + 1)
         verdict = "RECONSTRUCTED" if result.success else "failed"
         print(f"coalition {coalition!s:<18} (|C|={len(coalition)}): {verdict} — {result.reason}")
 
     # Statistical view of a single GPU's feed across many virtual batches.
-    masked = share_input_dependence(field, k=K, m=M, n_trials=192, seed=2)
-    control = share_input_dependence(field, k=K, m=M, n_trials=192, seed=2, mask=False)
+    masked = share_input_dependence(field, k=K, m=M, n_trials=192, seed=SEED + 2)
+    control = share_input_dependence(
+        field, k=K, m=M, n_trials=192, seed=SEED + 2, mask=False
+    )
     print("\nshare/input dependence over 192 fresh encodings:")
     print(
         f"  masked : MI excess {masked.mi_excess:+.4f} nats,"

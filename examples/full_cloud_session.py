@@ -7,13 +7,16 @@ A data holder:
 3. the enclave trains privately via masked TEE+GPU offload — with a
    byzantine GPU in the pool, caught by the integrity share and benched by
    the recovery executor;
-4. the client gets private predictions back.
+4. the trained model goes live behind the multi-tenant serving subsystem:
+   many clients' single-sample requests are coalesced into virtual
+   batches, each tenant attesting once and riding a cached session.
 
-Run:  python examples/full_cloud_session.py
+Run:  python examples/full_cloud_session.py [--seed N]
 """
 
 import numpy as np
 
+from repro.cli import parse_seed_flag
 from repro.data import cifar_like
 from repro.enclave import Enclave
 from repro.errors import AttestationError
@@ -25,29 +28,31 @@ from repro.runtime import (
     ClientSession,
     DarKnightBackend,
     DarKnightConfig,
-    PrivateInferenceEngine,
     RecoveringExecutor,
     Trainer,
 )
+from repro.serving import PrivateInferenceServer, ServingConfig, trace_from_arrays
+
+SEED = parse_seed_flag(default=0)
 
 
 def main() -> None:
     field = PrimeField()
 
     # --- 1. attestation -------------------------------------------------
-    evil = Enclave(code_identity="trojaned-enclave", seed=0)
+    evil = Enclave(code_identity="trojaned-enclave", seed=SEED)
     try:
         ClientSession.connect(evil, expected_code_identity="darknight-enclave-v1")
         raise AssertionError("client accepted the wrong enclave!")
     except AttestationError as exc:
         print(f"client refused rogue enclave: {exc}")
 
-    enclave = Enclave(code_identity="darknight-enclave-v1", seed=1)
+    enclave = Enclave(code_identity="darknight-enclave-v1", seed=SEED + 1)
     session = ClientSession.connect(enclave)
     print("client attested the genuine enclave and opened a secure channel")
 
     # --- 2. encrypted provisioning --------------------------------------
-    data = cifar_like(n_train=64, n_test=32, seed=0, size=8)
+    data = cifar_like(n_train=64, n_test=32, seed=SEED, size=8)
     x_train, y_train = session.provision(data.x_train, data.y_train)
     print(
         f"uploaded {x_train.shape[0]} samples;"
@@ -55,11 +60,11 @@ def main() -> None:
     )
 
     # --- 3. private training with a byzantine GPU in the pool -----------
-    cfg = DarKnightConfig(virtual_batch_size=2, integrity=True, seed=2)
+    cfg = DarKnightConfig(virtual_batch_size=2, integrity=True, seed=SEED + 2)
     cluster = GpuCluster(
         field,
         cfg.n_gpus_required + 1,  # one spare for recovery
-        fault_injectors={3: RandomTamper(field, probability=1.0, seed=3)},
+        fault_injectors={3: RandomTamper(field, probability=1.0, seed=SEED + 3)},
     )
 
     # First, bench the liar with the recovery executor on a probe batch.
@@ -80,16 +85,40 @@ def main() -> None:
     backend = DarKnightBackend(cfg, enclave=enclave, cluster=honest)
     net = build_mini_vgg(
         input_shape=data.input_shape, n_classes=10,
-        rng=np.random.default_rng(0), width=8,
+        rng=np.random.default_rng(SEED), width=8,
     )
     trainer = Trainer(net, backend, lr=0.08, momentum=0.9)
     history = trainer.fit(x_train, y_train, epochs=2, batch_size=16)
     print(f"private training: loss {history.loss[0]:.3f} -> {history.loss[-1]:.3f}")
 
-    # --- 4. private inference -------------------------------------------
-    engine = PrivateInferenceEngine(net, backend=backend)
-    accuracy = engine.accuracy(data.x_test, data.y_test)
-    print(f"private test accuracy: {accuracy:.2f}")
+    # --- 4. multi-tenant private serving --------------------------------
+    # The trained model goes behind the serving subsystem: the test set
+    # arrives as independent single-sample requests from three tenants,
+    # coalesced back into virtual batches under a 10 ms deadline.
+    serve_cfg = ServingConfig(
+        darknight=DarKnightConfig(
+            virtual_batch_size=4, integrity=True, seed=SEED + 4
+        ),
+        max_batch_wait=0.01,
+    )
+    server = PrivateInferenceServer(net, serve_cfg)
+    trace = trace_from_arrays(
+        data.x_test, tenants=["alice", "bob", "carol"], seed=SEED + 5
+    )
+    serving_report = server.serve_trace(trace)
+    completed = serving_report.completed
+    labels = {i: int(data.y_test[i]) for i in range(len(data.y_test))}
+    hits = sum(1 for o in completed if o.prediction == labels[o.request_id])
+    metrics = serving_report.metrics
+    print(
+        f"served {metrics.completed} inference requests to"
+        f" {len(serving_report.tenants)} tenants in {metrics.batches}"
+        f" integrity-verified virtual batches"
+        f" ({serving_report.handshakes} handshakes,"
+        f" fill {metrics.batch_fill_ratio:.2f},"
+        f" p99 {metrics.latency_percentile(99) * 1e3:.1f} ms)"
+    )
+    print(f"private test accuracy over the served trace: {hits / len(completed):.2f}")
 
 
 if __name__ == "__main__":

@@ -7,11 +7,12 @@ This example runs private inference twice — once against honest GPUs, once
 with a byzantine device injected — and shows the verifier firing, plus
 Slalom's Freivalds-based alternative on the same tampered product.
 
-Run:  python examples/integrity_verification.py
+Run:  python examples/integrity_verification.py [--seed N]
 """
 
 import numpy as np
 
+from repro.cli import parse_seed_flag
 from repro.errors import IntegrityError
 from repro.fieldmath import FieldRng, PrimeField, field_matmul
 from repro.gpu import GpuCluster, RandomTamper
@@ -19,13 +20,15 @@ from repro.models import build_mini_vgg
 from repro.runtime import DarKnightBackend, DarKnightConfig, PrivateInferenceEngine
 from repro.slalom import freivalds_check
 
+SEED = parse_seed_flag(default=0)
+
 
 def darknight_detection() -> None:
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(SEED)
     net = build_mini_vgg(input_shape=(3, 8, 8), n_classes=10, rng=rng, width=8)
     x = rng.normal(size=(2, 3, 8, 8))
     field = PrimeField()
-    cfg = DarKnightConfig(virtual_batch_size=2, integrity=True, seed=1)
+    cfg = DarKnightConfig(virtual_batch_size=2, integrity=True, seed=SEED + 1)
 
     print(f"cluster: {cfg.n_gpus_required} GPUs (K=2 inputs + M=1 noise + 1 redundant)")
     honest = PrivateInferenceEngine(net, backend=DarKnightBackend(cfg))
@@ -34,7 +37,7 @@ def darknight_detection() -> None:
     byzantine = GpuCluster(
         field,
         cfg.n_gpus_required,
-        fault_injectors={1: RandomTamper(field, probability=1.0, seed=2)},
+        fault_injectors={1: RandomTamper(field, probability=1.0, seed=SEED + 2)},
     )
     engine = PrivateInferenceEngine(
         net, backend=DarKnightBackend(cfg, cluster=byzantine)
@@ -49,7 +52,7 @@ def darknight_detection() -> None:
 def freivalds_comparison() -> None:
     """Slalom's check on the same class of tamper: a forged matrix product."""
     field = PrimeField()
-    rng = FieldRng(field, seed=3)
+    rng = FieldRng(field, seed=SEED + 3)
     w = rng.uniform((64, 128))
     x = rng.uniform((128, 32))
     honest = field_matmul(field, w, x)

@@ -7,18 +7,21 @@ prints the two accuracy curves side by side (the Fig. 4 experiment), plus
 the Slalom counter-demonstration: the same training loop refuses to run on
 a precomputed-blinding backend (Section 7.2).
 
-Run:  python examples/private_training.py
+Run:  python examples/private_training.py [--seed N]
 """
 
 import numpy as np
 
 from repro import DarKnightConfig, Trainer, build_mini_vgg
+from repro.cli import parse_seed_flag
 from repro.data import cifar_like
 from repro.runtime import DarKnightBackend
 from repro.slalom import SlalomBackend, SlalomTrainingError
 
+SEED = parse_seed_flag(default=0)
 
-def train(mode: str, data, seed: int = 0) -> list[float]:
+
+def train(mode: str, data, seed: int = SEED) -> list[float]:
     """Train one model; returns per-epoch validation accuracy."""
     rng = np.random.default_rng(seed)  # identical init for both modes
     net = build_mini_vgg(input_shape=data.input_shape, n_classes=10, rng=rng, width=8)
@@ -40,7 +43,7 @@ def train(mode: str, data, seed: int = 0) -> list[float]:
 
 
 def main() -> None:
-    data = cifar_like(n_train=128, n_test=64, seed=0, size=8)
+    data = cifar_like(n_train=128, n_test=64, seed=SEED, size=8)
     print("training MiniVGG on raw floats...")
     raw = train("raw", data)
     print("training MiniVGG through DarKnight (masked TEE+GPU)...")
@@ -53,7 +56,7 @@ def main() -> None:
 
     # And the system Slalom cannot build: a training step on blinded offload.
     print("\nattempting the same training step under Slalom...")
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(SEED)
     net = build_mini_vgg(input_shape=data.input_shape, n_classes=10, rng=rng, width=8)
     trainer = Trainer(net, SlalomBackend(), lr=0.08)
     try:

@@ -33,9 +33,10 @@ from repro.runtime import (
     PrivateInferenceEngine,
     Trainer,
 )
+from repro.serving import PrivateInferenceServer, ServingConfig, synthetic_trace
 from repro.slalom import SlalomBackend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -61,6 +62,9 @@ __all__ = [
     "DarKnightBackend",
     "Trainer",
     "PrivateInferenceEngine",
+    "PrivateInferenceServer",
+    "ServingConfig",
+    "synthetic_trace",
     "SlalomBackend",
     "build_mini_vgg",
     "build_mini_resnet",

@@ -1,43 +1,17 @@
-"""``python -m repro`` — regenerate the paper's evaluation as a text report.
+"""``python -m repro`` — paper report (default) or the serving driver.
 
-Runs the same harnesses the benchmarks assert on and prints every table and
-figure series (see examples/paper_report.py for the library-level version).
+* ``python -m repro`` / ``python -m repro report`` — regenerate the
+  paper's evaluation as a text report;
+* ``python -m repro serve --model tiny --requests 64 ...`` — replay a
+  synthetic multi-tenant trace through the private-inference server and
+  print the serving metrics (see :mod:`repro.cli`).
 """
 
 from __future__ import annotations
 
-import runpy
 import sys
-from pathlib import Path
 
-
-def main() -> int:
-    report = Path(__file__).resolve().parent.parent.parent / "examples" / "paper_report.py"
-    if report.exists():
-        runpy.run_path(str(report), run_name="__main__")
-        return 0
-    # Installed without the examples tree: fall back to the harnesses.
-    from repro.perf import headline_speedups, table1_rows
-    from repro.reporting import render_table
-
-    rows = table1_rows()
-    print(
-        render_table(
-            ["Operations", "Linear", "Maxpool", "Relu", "Total"],
-            [
-                [r["operation"]] + [f"{r[k]:.2f}x" for k in ("linear", "maxpool", "relu", "total")]
-                for r in rows
-            ],
-            title="Table 1 — GPU speedup over SGX (VGG16, ImageNet)",
-        )
-    )
-    headline = headline_speedups()
-    print(
-        f"\nheadline: training {headline['training_speedup_avg']:.1f}x,"
-        f" inference {headline['inference_speedup_avg']:.1f}x"
-    )
-    return 0
-
+from repro.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,198 @@
+"""Command-line entry points for ``python -m repro``.
+
+Two subcommands:
+
+* ``report`` (the default) — regenerate the paper's evaluation tables;
+* ``serve`` — drive the multi-tenant private-inference server over a
+  synthetic offline request trace (no network dependency) and print the
+  serving metrics.
+
+Unknown leading arguments fall through to ``report`` so the module also
+runs cleanly under harnesses that own ``sys.argv`` (e.g. pytest's smoke
+test imports and runs it with pytest's own flags still in ``argv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def parse_seed_flag(argv: list[str] | None = None, default: int = 0) -> int:
+    """Extract a ``--seed N`` / ``--seed=N`` flag from an argv-style list.
+
+    Shared by the examples so every script in ``examples/`` is
+    deterministic and re-seedable, while tolerating foreign flags (the
+    example smoke tests run them under pytest's argv).
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    for i, arg in enumerate(argv):
+        value = None
+        if arg == "--seed" and i + 1 < len(argv):
+            value = argv[i + 1]
+        elif arg.startswith("--seed="):
+            value = arg.split("=", 1)[1]
+        if value is not None:
+            try:
+                return int(value)
+            except ValueError:
+                return default
+    return default
+
+
+# ----------------------------------------------------------------------
+# models the serve subcommand can load
+# ----------------------------------------------------------------------
+def build_serving_model(name: str, seed: int = 0):
+    """Build a named model for serving; returns ``(network, input_shape)``.
+
+    ``tiny`` is a dense head small enough for smoke tests and CI;
+    ``mini-vgg`` exercises the full conv path.
+    """
+    from repro.errors import ConfigurationError
+    from repro.models import build_mini_vgg
+    from repro.nn import Sequential
+    from repro.nn.layers import Dense, ReLU
+
+    rng = np.random.default_rng(seed)
+    if name == "tiny":
+        input_shape = (16,)
+        network = Sequential(
+            [Dense(16, 12, rng=rng), ReLU(), Dense(12, 4, rng=rng)], input_shape
+        )
+        return network, input_shape
+    if name == "mini-vgg":
+        input_shape = (3, 8, 8)
+        network = build_mini_vgg(
+            input_shape=input_shape, n_classes=10, rng=rng, width=8
+        )
+        return network, input_shape
+    raise ConfigurationError(f"unknown serving model {name!r} (tiny | mini-vgg)")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def run_report() -> int:
+    """Regenerate the paper's evaluation as a text report."""
+    report = Path(__file__).resolve().parent.parent.parent / "examples" / "paper_report.py"
+    if report.exists():
+        runpy.run_path(str(report), run_name="__main__")
+        return 0
+    # Installed without the examples tree: fall back to the harnesses.
+    from repro.perf import headline_speedups, table1_rows
+    from repro.reporting import render_table
+
+    rows = table1_rows()
+    print(
+        render_table(
+            ["Operations", "Linear", "Maxpool", "Relu", "Total"],
+            [
+                [r["operation"]] + [f"{r[k]:.2f}x" for k in ("linear", "maxpool", "relu", "total")]
+                for r in rows
+            ],
+            title="Table 1 — GPU speedup over SGX (VGG16, ImageNet)",
+        )
+    )
+    headline = headline_speedups()
+    print(
+        f"\nheadline: training {headline['training_speedup_avg']:.1f}x,"
+        f" inference {headline['inference_speedup_avg']:.1f}x"
+    )
+    return 0
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a synthetic multi-tenant inference trace privately.",
+    )
+    parser.add_argument("--model", default="tiny", help="tiny | mini-vgg")
+    parser.add_argument("--requests", type=int, default=64, help="trace length")
+    parser.add_argument("--tenants", type=int, default=4, help="distinct tenants")
+    parser.add_argument(
+        "--rate", type=float, default=1000.0, help="offered load, requests/second"
+    )
+    parser.add_argument(
+        "--virtual-batch", type=int, default=4, help="K — coalescing target"
+    )
+    parser.add_argument(
+        "--batch-wait", type=float, default=0.01,
+        help="max seconds a request waits before a partial batch flushes",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="pipeline depth")
+    parser.add_argument(
+        "--queue-capacity", type=int, default=256, help="bounded queue size"
+    )
+    parser.add_argument(
+        "--integrity", action="store_true",
+        help="add the redundant share and verify every GPU result",
+    )
+    parser.add_argument(
+        "--per-request", action="store_true",
+        help="disable coalescing (dispatch each request alone; baseline)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="determinism seed")
+    return parser
+
+
+def run_serve(argv: list[str]) -> int:
+    """``python -m repro serve ...`` — offline trace driver."""
+    from repro.errors import ReproError
+
+    args = _serve_parser().parse_args(argv)
+    try:
+        return _serve(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _serve(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.runtime.config import DarKnightConfig
+    from repro.serving import PrivateInferenceServer, ServingConfig, synthetic_trace
+
+    if args.rate <= 0:
+        raise ConfigurationError(f"--rate must be > 0, got {args.rate}")
+    network, input_shape = build_serving_model(args.model, seed=args.seed)
+    config = ServingConfig(
+        darknight=DarKnightConfig(
+            virtual_batch_size=args.virtual_batch,
+            integrity=args.integrity,
+            seed=args.seed,
+        ),
+        max_batch_wait=args.batch_wait,
+        queue_capacity=args.queue_capacity,
+        n_workers=args.workers,
+        coalesce=not args.per_request,
+    )
+    trace = synthetic_trace(
+        n_requests=args.requests,
+        input_shape=input_shape,
+        n_tenants=args.tenants,
+        mean_interarrival=1.0 / args.rate,
+        seed=args.seed,
+    )
+    server = PrivateInferenceServer(network, config)
+    report = server.serve_trace(trace)
+    mode = "per-request" if args.per_request else f"coalesced K={args.virtual_batch}"
+    print(
+        f"served {args.requests} requests from {args.tenants} tenants"
+        f" ({mode}, integrity={'on' if args.integrity else 'off'})"
+    )
+    print(report.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``python -m repro [report|serve] ...``."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
+    # ``report`` explicitly, or anything else (including foreign argv).
+    return run_report()

@@ -58,3 +58,11 @@ class GpuError(ReproError):
 
 class ConfigurationError(ReproError):
     """A runtime / experiment configuration is invalid."""
+
+
+class ServingError(ReproError):
+    """Failure inside the multi-tenant private-inference serving subsystem."""
+
+
+class BackpressureError(ServingError):
+    """The server's bounded request queue is full; the request was shed."""

@@ -37,6 +37,13 @@ class DarKnightConfig:
         Route per-virtual-batch weight updates through Algorithm 2's
         seal -> evict -> reload -> aggregate path instead of accumulating
         in enclave memory.
+    fresh_coefficients:
+        Regenerate the masking coefficients for every virtual batch (the
+        paper's training behaviour, and the safe default).  ``False`` lets
+        the backend reuse one cached :class:`CoefficientSet` per
+        ``(K, M, integrity)`` shape — the per-encode noise vectors stay
+        fresh, only the resampling/inversion of ``A``/``B``/``Gamma`` is
+        skipped, which the serving hot path exploits.
     validate_decode:
         Debug mode: cross-check every masked decode against a float
         reference and fail loudly on range overflow (tests use this).
@@ -52,6 +59,7 @@ class DarKnightConfig:
     dynamic_normalization: bool = True
     mds_noise: bool = True
     sealed_aggregation: bool = False
+    fresh_coefficients: bool = True
     validate_decode: bool = False
     seed: int | None = None
 

@@ -92,6 +92,7 @@ class DarKnightBackend:
         )
         self._grad_normalizer = DynamicNormalizer()
         self._forward_store: dict[str, list[_ForwardRecord]] = {}
+        self._cached_coefficients: CoefficientSet | None = None
         self._aggregator = (
             LargeBatchAggregator(self.enclave) if self.config.sealed_aggregation else None
         )
@@ -106,14 +107,25 @@ class DarKnightBackend:
         return self._normalizer.normalize(values)
 
     def _fresh_coefficients(self) -> CoefficientSet:
+        # Coefficient shapes depend only on the (frozen) config's
+        # (K, M, extra, mds) — the batch's feature shape never enters
+        # because A/B/Gamma weight whole sample slots — so one cached set
+        # serves every batch.  Reuse skips only the resample/inversion;
+        # the per-encode noise vectors are still drawn fresh by the encoder.
+        cfg = self.config
+        if not cfg.fresh_coefficients and self._cached_coefficients is not None:
+            self.enclave.record_compute("reuse_coefficients", 0)
+            return self._cached_coefficients
         coeffs = CoefficientSet.generate(
             self.enclave.rng,
-            k=self.config.virtual_batch_size,
-            m=self.config.collusion_tolerance,
-            extra_shares=self.config.extra_shares,
-            mds_noise=self.config.mds_noise,
+            k=cfg.virtual_batch_size,
+            m=cfg.collusion_tolerance,
+            extra_shares=cfg.extra_shares,
+            mds_noise=cfg.mds_noise,
         )
         self.enclave.record_compute("generate_coefficients", coeffs.a.nbytes)
+        if not cfg.fresh_coefficients:
+            self._cached_coefficients = coeffs
         return coeffs
 
     def _scatter(self, share_key: str, shares: np.ndarray) -> None:

@@ -40,11 +40,22 @@ class PrivateInferenceEngine:
         self.network = network
         self.backend = backend or DarKnightBackend(config or DarKnightConfig())
 
+    def run_batch(self, x: np.ndarray) -> np.ndarray:
+        """Run one pre-formed batch through the masked pipeline.
+
+        The reusable single-batch entry point serving workers call: one
+        forward pass over the shared backend, with the backend's stored
+        encodings released even when decode/integrity verification raises
+        (so a byzantine batch cannot wedge the next one).
+        """
+        try:
+            return self.network.forward(x, self.backend, training=False)
+        finally:
+            self.backend.end_batch()
+
     def predict_logits(self, x: np.ndarray) -> np.ndarray:
         """Logits for a batch of private inputs."""
-        out = self.network.forward(x, self.backend, training=False)
-        self.backend.end_batch()
-        return out
+        return self.run_batch(x)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class predictions for a batch of private inputs."""

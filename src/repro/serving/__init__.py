@@ -1,0 +1,47 @@
+"""Multi-tenant private-inference serving with virtual-batch coalescing.
+
+The paper amortizes enclave encode/decode over a virtual batch; this
+package applies the same argument to *traffic*: independent single-sample
+requests from many tenants are coalesced into full virtual batches under
+a max-latency deadline, served by a worker pool over one shared
+enclave + GPU cluster, behind per-tenant attested sessions.
+"""
+
+from repro.serving.metrics import ServerMetrics
+from repro.serving.queue import RequestQueue
+from repro.serving.requests import (
+    STATUS_DECODE_FAILED,
+    STATUS_INTEGRITY_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    PendingRequest,
+    RequestOutcome,
+    ScheduledBatch,
+)
+from repro.serving.scheduler import VirtualBatchScheduler
+from repro.serving.server import PrivateInferenceServer, ServingConfig, ServingReport
+from repro.serving.session import ServingSession, SessionManager
+from repro.serving.trace import TraceRequest, synthetic_trace, trace_from_arrays
+from repro.serving.worker import InferenceWorkerPool
+
+__all__ = [
+    "PendingRequest",
+    "RequestOutcome",
+    "ScheduledBatch",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_INTEGRITY_FAILED",
+    "STATUS_DECODE_FAILED",
+    "RequestQueue",
+    "VirtualBatchScheduler",
+    "ServingSession",
+    "SessionManager",
+    "InferenceWorkerPool",
+    "ServerMetrics",
+    "PrivateInferenceServer",
+    "ServingConfig",
+    "ServingReport",
+    "TraceRequest",
+    "synthetic_trace",
+    "trace_from_arrays",
+]

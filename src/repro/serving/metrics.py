@@ -1,0 +1,150 @@
+"""Server-side observability: latency percentiles, fill ratio, failures.
+
+Collects per-request and per-batch facts during a serving run and renders
+them through :mod:`repro.reporting` so server output lines up with the
+rest of the repo's exhibits.  All times are simulated-clock seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting import render_table
+from repro.serving.requests import (
+    STATUS_DECODE_FAILED,
+    STATUS_INTEGRITY_FAILED,
+    RequestOutcome,
+    ScheduledBatch,
+)
+
+
+class ServerMetrics:
+    """Accumulates serving statistics; cheap to query mid-run."""
+
+    def __init__(self) -> None:
+        self._latencies: list[float] = []
+        self._fill_ratios: list[float] = []
+        self._trigger_counts: dict[str, int] = {}
+        self._completed_by_tenant: dict[str, int] = {}
+        self._shed_by_tenant: dict[str, int] = {}
+        self.completed = 0
+        self.shed = 0
+        self.integrity_failures = 0
+        self.decode_errors = 0
+        self.batches = 0
+        self._first_arrival: float | None = None
+        self._last_completion: float | None = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_batch(self, batch: ScheduledBatch) -> None:
+        """Account one flushed virtual batch."""
+        self.batches += 1
+        self._fill_ratios.append(batch.fill_ratio)
+        self._trigger_counts[batch.trigger] = (
+            self._trigger_counts.get(batch.trigger, 0) + 1
+        )
+
+    def record_outcome(self, outcome: RequestOutcome) -> None:
+        """Account one finished (ok or failed) request."""
+        if self._first_arrival is None or outcome.arrival_time < self._first_arrival:
+            self._first_arrival = outcome.arrival_time
+        if outcome.status == STATUS_INTEGRITY_FAILED:
+            self.integrity_failures += 1
+            return
+        if outcome.status == STATUS_DECODE_FAILED:
+            self.decode_errors += 1
+            return
+        if not outcome.ok:
+            return
+        self.completed += 1
+        self._completed_by_tenant[outcome.tenant] = (
+            self._completed_by_tenant.get(outcome.tenant, 0) + 1
+        )
+        self._latencies.append(outcome.latency)
+        if self._last_completion is None or outcome.completion_time > self._last_completion:
+            self._last_completion = outcome.completion_time
+
+    def record_shed(self, tenant: str, now: float) -> None:
+        """Account one request refused by backpressure."""
+        self.shed += 1
+        self._shed_by_tenant[tenant] = self._shed_by_tenant.get(tenant, 0) + 1
+        if self._first_arrival is None or now < self._first_arrival:
+            self._first_arrival = now
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    def latency_percentile(self, p: float) -> float:
+        """``p``-th percentile of completed-request latency (seconds)."""
+        if not self._latencies:
+            return float("nan")
+        return float(np.percentile(self._latencies, p))
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean completed-request latency (seconds)."""
+        return float(np.mean(self._latencies)) if self._latencies else float("nan")
+
+    @property
+    def batch_fill_ratio(self) -> float:
+        """Mean fraction of virtual-batch slots carrying real samples."""
+        return float(np.mean(self._fill_ratios)) if self._fill_ratios else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per simulated second (arrival to last completion)."""
+        if self.completed == 0 or self._first_arrival is None:
+            return 0.0
+        span = (self._last_completion or 0.0) - self._first_arrival
+        if span <= 0:
+            return float("inf")
+        return self.completed / span
+
+    def completed_by_tenant(self) -> dict[str, int]:
+        """Completed request counts per tenant."""
+        return dict(self._completed_by_tenant)
+
+    def shed_by_tenant(self) -> dict[str, int]:
+        """Shed request counts per tenant."""
+        return dict(self._shed_by_tenant)
+
+    def flush_triggers(self) -> dict[str, int]:
+        """How many batches flushed per trigger kind."""
+        return dict(self._trigger_counts)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All headline numbers as one dict (stable keys for tests/benches)."""
+        return {
+            "completed": self.completed,
+            "shed": self.shed,
+            "integrity_failures": self.integrity_failures,
+            "decode_errors": self.decode_errors,
+            "batches": self.batches,
+            "batch_fill_ratio": self.batch_fill_ratio,
+            "throughput_rps": self.throughput,
+            "latency_p50": self.latency_percentile(50),
+            "latency_p99": self.latency_percentile(99),
+            "latency_mean": self.mean_latency,
+        }
+
+    def render(self, title: str = "Serving metrics") -> str:
+        """ASCII table of the snapshot."""
+        snap = self.snapshot()
+        rows = [
+            ["completed requests", snap["completed"]],
+            ["shed (backpressure)", snap["shed"]],
+            ["integrity failures", snap["integrity_failures"]],
+            ["decode errors", snap["decode_errors"]],
+            ["virtual batches", snap["batches"]],
+            ["batch fill ratio", f"{snap['batch_fill_ratio']:.2f}"],
+            ["throughput (req/s)", f"{snap['throughput_rps']:.1f}"],
+            ["latency p50 (ms)", f"{snap['latency_p50'] * 1e3:.2f}"],
+            ["latency p99 (ms)", f"{snap['latency_p99'] * 1e3:.2f}"],
+            ["latency mean (ms)", f"{snap['latency_mean'] * 1e3:.2f}"],
+        ]
+        return render_table(["metric", "value"], rows, title=title)

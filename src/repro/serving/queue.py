@@ -1,0 +1,105 @@
+"""Bounded multi-tenant request queue with round-robin fair draining.
+
+The queue is the server's backpressure valve: admission beyond
+``capacity`` raises :class:`~repro.errors.BackpressureError` (shed-load)
+instead of letting latency grow without bound, and draining interleaves
+tenants round-robin so one saturating tenant cannot starve the others out
+of virtual-batch slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.serving.requests import PendingRequest
+
+
+class RequestQueue:
+    """FIFO per tenant, round-robin across tenants, bounded overall.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum pending requests across all tenants; pushes beyond it shed.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queues: dict[str, deque[PendingRequest]] = {}
+        self._order: list[str] = []
+        self._rr = 0
+        self._depth = 0
+        self.shed_count = 0
+        self.pushed_count = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def push(self, request: PendingRequest) -> None:
+        """Admit one request or shed it when the queue is full.
+
+        Raises
+        ------
+        BackpressureError
+            When ``capacity`` pending requests are already queued.
+        """
+        if self._depth >= self.capacity:
+            self.shed_count += 1
+            raise BackpressureError(
+                f"request queue full ({self.capacity} pending);"
+                f" shedding request {request.request_id} from {request.tenant!r}"
+            )
+        tenant_queue = self._queues.get(request.tenant)
+        if tenant_queue is None:
+            tenant_queue = self._queues[request.tenant] = deque()
+            self._order.append(request.tenant)
+        tenant_queue.append(request)
+        self._depth += 1
+        self.pushed_count += 1
+
+    # ------------------------------------------------------------------
+    # fair draining
+    # ------------------------------------------------------------------
+    def pop_fair(self, max_n: int) -> list[PendingRequest]:
+        """Pop up to ``max_n`` requests, one per tenant per rotation.
+
+        Tenants are visited round-robin starting where the previous call
+        stopped, so over consecutive batches every active tenant gets an
+        equal share of slots regardless of individual queue depth.
+        """
+        out: list[PendingRequest] = []
+        while len(out) < max_n and self._depth:
+            for _ in range(len(self._order)):
+                tenant = self._order[self._rr % len(self._order)]
+                self._rr += 1
+                tenant_queue = self._queues[tenant]
+                if tenant_queue:
+                    out.append(tenant_queue.popleft())
+                    self._depth -= 1
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Pending requests across all tenants."""
+        return self._depth
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenants seen so far, in first-arrival order."""
+        return list(self._order)
+
+    def depth_by_tenant(self) -> dict[str, int]:
+        """Pending requests per tenant."""
+        return {t: len(q) for t, q in self._queues.items() if q}
+
+    def oldest_enqueue_time(self) -> float | None:
+        """Enqueue time of the longest-waiting request, or None when empty."""
+        heads = [q[0].enqueue_time for q in self._queues.values() if q]
+        return min(heads) if heads else None

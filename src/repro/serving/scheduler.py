@@ -1,0 +1,112 @@
+"""Dynamic virtual-batch coalescing: flush on size or deadline.
+
+The scheduler turns independent single-sample requests into the paper's
+virtual batches.  A batch flushes the moment ``K`` requests are pending
+(size trigger — full amortization of the enclave encode/decode), or when
+the oldest pending request has waited ``max_wait`` simulated seconds
+(deadline trigger — a partial batch ships padded rather than blowing the
+latency budget).  ``batch_size=1`` degenerates to per-request dispatch,
+which is exactly the baseline the serving benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.serving.queue import RequestQueue
+from repro.serving.requests import ScheduledBatch
+
+
+class VirtualBatchScheduler:
+    """Coalesces queued requests into :class:`ScheduledBatch` es.
+
+    Parameters
+    ----------
+    queue:
+        The bounded multi-tenant queue to drain.
+    batch_size:
+        Virtual-batch size ``K`` — requests coalesced per flush.
+    max_wait:
+        Max simulated seconds a request may sit queued before a partial
+        batch is forced out (the serving latency SLO knob).
+    slots:
+        Virtual-batch slots a flushed batch occupies on the enclave/GPUs.
+        Defaults to ``batch_size``; per-request dispatch sets
+        ``batch_size=1`` with ``slots=K`` because the enclave still pads
+        each lone sample to a full ``K``-slot encoding.
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        batch_size: int,
+        max_wait: float = 0.01,
+        slots: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
+        if max_wait <= 0:
+            raise ConfigurationError(f"max wait must be > 0, got {max_wait}")
+        self.queue = queue
+        self.batch_size = batch_size
+        self.max_wait = max_wait
+        self.slots = max(batch_size, slots or batch_size)
+        self._next_batch_id = 0
+
+    def _make(self, requests, flush_time: float, trigger: str) -> ScheduledBatch:
+        batch = ScheduledBatch(
+            batch_id=self._next_batch_id,
+            requests=requests,
+            flush_time=flush_time,
+            trigger=trigger,
+            slots=self.slots,
+        )
+        self._next_batch_id += 1
+        return batch
+
+    # ------------------------------------------------------------------
+    # flush triggers
+    # ------------------------------------------------------------------
+    def collect_ready(self, now: float) -> list[ScheduledBatch]:
+        """Flush every *full* batch available at ``now`` (size trigger)."""
+        batches = []
+        while self.queue.depth >= self.batch_size:
+            batches.append(
+                self._make(self.queue.pop_fair(self.batch_size), now, "size")
+            )
+        return batches
+
+    def collect_expired(self, now: float) -> list[ScheduledBatch]:
+        """Flush partial batches whose oldest request hit the deadline.
+
+        Each flush is stamped with the *deadline* time (oldest enqueue +
+        ``max_wait``), not ``now``: between trace arrivals the simulated
+        server would have fired the flush timer at the deadline itself.
+        Passing ``now = math.inf`` drains everything deadline-by-deadline.
+        """
+        batches = []
+        while self.queue.depth:
+            oldest = self.queue.oldest_enqueue_time()
+            deadline = oldest + self.max_wait
+            if deadline > now:
+                break
+            flush_at = deadline if math.isfinite(deadline) else oldest
+            batches.append(
+                self._make(self.queue.pop_fair(self.batch_size), flush_at, "deadline")
+            )
+        return batches
+
+    def drain(self, now: float) -> list[ScheduledBatch]:
+        """Flush everything immediately (server shutdown)."""
+        batches = []
+        while self.queue.depth:
+            batches.append(
+                self._make(self.queue.pop_fair(self.batch_size), now, "drain")
+            )
+        return batches
+
+    @property
+    def batches_scheduled(self) -> int:
+        """Total batches flushed so far."""
+        return self._next_batch_id

@@ -1,0 +1,272 @@
+"""The multi-tenant private-inference server (offline trace driver).
+
+Composes the serving subsystem end to end::
+
+    trace -> SessionManager (attest once / tenant, decrypt)
+          -> RequestQueue (bounded, shed-load)
+          -> VirtualBatchScheduler (coalesce, size-or-deadline flush)
+          -> InferenceWorkerPool (shared DarKnightBackend: encode -> GPU
+             dispatch -> decode, integrity-verified)
+          -> ServerMetrics / ServingReport
+
+There is no network dependency: :meth:`PrivateInferenceServer.serve_trace`
+replays a time-stamped request trace against a simulated clock, firing
+deadline flushes exactly when a live server's timer would have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.comm import LinkModel
+from repro.enclave import Enclave
+from repro.errors import BackpressureError
+from repro.gpu import GpuCluster
+from repro.nn import Sequential
+from repro.runtime.client import DEFAULT_CODE_IDENTITY
+from repro.runtime.config import DarKnightConfig
+from repro.runtime.darknight import DarKnightBackend
+from repro.runtime.inference import PrivateInferenceEngine
+from repro.serving.metrics import ServerMetrics
+from repro.serving.queue import RequestQueue
+from repro.serving.requests import STATUS_SHED, PendingRequest, RequestOutcome
+from repro.serving.scheduler import VirtualBatchScheduler
+from repro.serving.session import SessionManager
+from repro.serving.trace import TraceRequest
+from repro.serving.worker import InferenceWorkerPool
+
+#: Sentinel meaning "run until every queued request has drained".
+_DRAIN = float("inf")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything that parameterises a serving deployment.
+
+    Parameters
+    ----------
+    darknight:
+        The masking/session parameters shared by all tenants (the
+        virtual-batch size ``K`` doubles as the coalescing target).
+    max_batch_wait:
+        Deadline (simulated seconds) before a partial batch is forced out.
+    queue_capacity:
+        Bound on *admitted-but-incomplete* requests — queued plus in
+        flight behind busy workers; beyond it the server sheds load, so
+        sustained overload surfaces as shed requests instead of
+        unbounded latency.
+    n_workers:
+        Pipeline depth of the worker pool.
+    coalesce:
+        ``False`` dispatches every request alone (the naive baseline the
+        serving benchmark measures against); the enclave still pads each
+        lone sample to ``K`` slots, which is exactly the waste coalescing
+        recovers.
+    reuse_coefficients:
+        Serve from the backend's coefficient cache (inference never needs
+        the training escape hatch of fresh per-step coefficients).
+    encrypt_requests:
+        Run every sample and response through the tenant's AEAD channel.
+    base_service_time / per_slot_service_time:
+        Linear simulated service-time model for a dispatched batch.
+    """
+
+    darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
+    max_batch_wait: float = 0.01
+    queue_capacity: int = 256
+    n_workers: int = 1
+    coalesce: bool = True
+    reuse_coefficients: bool = True
+    encrypt_requests: bool = True
+    base_service_time: float = 2e-3
+    per_slot_service_time: float = 5e-4
+    code_identity: str = DEFAULT_CODE_IDENTITY
+
+
+@dataclass
+class ServingReport:
+    """What a serving run produced: outcomes plus aggregate statistics."""
+
+    outcomes: list[RequestOutcome]
+    metrics: ServerMetrics
+    handshakes: int
+    tenants: list[str]
+    link_bytes: int
+
+    @property
+    def completed(self) -> list[RequestOutcome]:
+        """Outcomes that produced a verified prediction."""
+        return [o for o in self.outcomes if o.ok]
+
+    def render(self) -> str:
+        """The metrics table plus session-layer facts."""
+        lines = [self.metrics.render()]
+        lines.append(
+            f"sessions: {len(self.tenants)} tenants,"
+            f" {self.handshakes} attestation handshakes,"
+            f" {self.link_bytes:,} link bytes"
+        )
+        return "\n".join(lines)
+
+
+class PrivateInferenceServer:
+    """Serves masked inference to many tenants over one trusted stack.
+
+    Parameters
+    ----------
+    network:
+        The trained model all tenants query.
+    config:
+        Serving parameters; :attr:`ServingConfig.darknight` sizes the
+        enclave/GPU side.
+    cluster:
+        Optionally inject a cluster (e.g. with fault injectors) — the
+        integrity tests serve through a byzantine GPU this way.
+    enclave:
+        Optionally inject a pre-provisioned enclave.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        config: ServingConfig | None = None,
+        cluster: GpuCluster | None = None,
+        enclave: Enclave | None = None,
+    ) -> None:
+        self.config = config or ServingConfig()
+        dk = self.config.darknight
+        if self.config.reuse_coefficients and dk.fresh_coefficients:
+            dk = dataclasses.replace(dk, fresh_coefficients=False)
+        self.enclave = enclave or Enclave(
+            code_identity=self.config.code_identity, seed=dk.seed
+        )
+        self.link = LinkModel()
+        backend = DarKnightBackend(
+            dk, enclave=self.enclave, cluster=cluster, link=self.link
+        )
+        self.engine = PrivateInferenceEngine(network, backend=backend)
+        self.sessions = SessionManager(
+            self.enclave,
+            link=self.link,
+            expected_code_identity=self.config.code_identity,
+            rng=np.random.default_rng(dk.seed),
+        )
+        self.queue = RequestQueue(self.config.queue_capacity)
+        batch_size = dk.virtual_batch_size if self.config.coalesce else 1
+        self.scheduler = VirtualBatchScheduler(
+            self.queue,
+            batch_size,
+            self.config.max_batch_wait,
+            slots=dk.virtual_batch_size,
+        )
+        self.pool = InferenceWorkerPool(
+            self.engine,
+            n_workers=self.config.n_workers,
+            base_service_time=self.config.base_service_time,
+            per_slot_service_time=self.config.per_slot_service_time,
+        )
+        self.metrics = ServerMetrics()
+        self._outcomes: list[RequestOutcome] = []
+        self._next_request_id = 0
+        # Completion times of dispatched requests, for in-flight accounting.
+        self._inflight: list[float] = []
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def serve_trace(self, trace: Iterable[TraceRequest]) -> ServingReport:
+        """Replay a request trace to completion and report.
+
+        Arrivals are processed in time order; between consecutive
+        arrivals any pending deadline flush fires at its exact deadline.
+        After the last arrival the queue drains deadline-by-deadline, so
+        every admitted request completes.
+        """
+        events = sorted(trace, key=lambda r: r.time)
+        now = 0.0
+        for event in events:
+            now = max(now, event.time)
+            self._run_batches(self.scheduler.collect_expired(now))
+            self._admit(event, now)
+            self._run_batches(self.scheduler.collect_ready(now))
+        self._run_batches(self.scheduler.collect_expired(_DRAIN))
+        return self.report()
+
+    def _inflight_at(self, now: float) -> int:
+        """Dispatched requests whose (simulated) completion is still ahead."""
+        while self._inflight and self._inflight[0] <= now:
+            heapq.heappop(self._inflight)
+        return len(self._inflight)
+
+    def _admit(self, event: TraceRequest, now: float) -> None:
+        """Attest/decrypt one arrival and queue it (or shed it)."""
+        session = self.sessions.connect(event.tenant, now)
+        x = np.asarray(event.x, dtype=np.float64)
+        if self.config.encrypt_requests:
+            x = session.decrypt_request(session.encrypt_request(x))
+        request = PendingRequest(
+            request_id=self._next_request_id,
+            tenant=event.tenant,
+            x=x,
+            arrival_time=now,
+            enqueue_time=now,
+        )
+        self._next_request_id += 1
+        try:
+            # Admitted-but-incomplete = queued + in flight behind busy
+            # workers; bounding their sum is what keeps worst-case latency
+            # finite when the offered load exceeds pipeline capacity.
+            if (
+                self._inflight_at(now) + self.queue.depth
+                >= self.config.queue_capacity
+            ):
+                raise BackpressureError(
+                    f"{len(self._inflight)} requests in flight and"
+                    f" {self.queue.depth} queued >= capacity"
+                    f" {self.config.queue_capacity}; shedding request"
+                    f" {request.request_id} from {request.tenant!r}"
+                )
+            self.queue.push(request)
+        except BackpressureError as exc:
+            self.metrics.record_shed(event.tenant, now)
+            self._outcomes.append(
+                RequestOutcome(
+                    request_id=request.request_id,
+                    tenant=event.tenant,
+                    status=STATUS_SHED,
+                    arrival_time=now,
+                    error=str(exc),
+                )
+            )
+
+    def _run_batches(self, batches) -> None:
+        """Dispatch flushed batches and account their outcomes."""
+        for batch in batches:
+            self.metrics.record_batch(batch)
+            outcomes = self.pool.dispatch(batch)
+            for outcome in outcomes:
+                heapq.heappush(self._inflight, outcome.completion_time)
+                self.metrics.record_outcome(outcome)
+                if outcome.ok and self.config.encrypt_requests:
+                    session = self.sessions.connect(outcome.tenant)
+                    envelope = session.encrypt_response(outcome.logits)
+                    session.decrypt_response(envelope)
+            self._outcomes.extend(outcomes)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> ServingReport:
+        """Snapshot the run so far."""
+        return ServingReport(
+            outcomes=list(self._outcomes),
+            metrics=self.metrics,
+            handshakes=self.sessions.handshakes_performed,
+            tenants=self.sessions.active_tenants,
+            link_bytes=self.link.total_bytes,
+        )

@@ -1,0 +1,111 @@
+"""Offline request traces: the serving driver's network substitute.
+
+A trace is a time-ordered list of (arrival time, tenant, sample) tuples.
+:func:`synthetic_trace` draws Poisson-process arrivals (exponential gaps)
+across a configurable tenant mix — including a deliberately "hot" tenant
+for fairness experiments — so benchmarks and tests can replay identical
+load patterns deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in an offline trace."""
+
+    time: float
+    tenant: str
+    x: np.ndarray
+
+
+def synthetic_trace(
+    n_requests: int,
+    input_shape: tuple[int, ...],
+    n_tenants: int = 4,
+    mean_interarrival: float = 1e-3,
+    seed: int | None = 0,
+    hot_tenant_share: float | None = None,
+) -> list[TraceRequest]:
+    """Generate a Poisson-arrival multi-tenant request trace.
+
+    Parameters
+    ----------
+    n_requests:
+        Total requests in the trace.
+    input_shape:
+        Per-sample shape (no batch axis); samples are standard normal.
+    n_tenants:
+        Distinct tenants, named ``tenant0..tenant{n-1}``.
+    mean_interarrival:
+        Mean gap between consecutive arrivals in simulated seconds (the
+        offered load is ``1 / mean_interarrival`` requests per second).
+    seed:
+        Makes the trace fully deterministic.
+    hot_tenant_share:
+        When set (0-1), ``tenant0`` issues that fraction of all requests
+        and the rest spread uniformly — the saturating-tenant scenario.
+    """
+    if n_requests < 1:
+        raise ConfigurationError(f"trace needs >= 1 requests, got {n_requests}")
+    if n_tenants < 1:
+        raise ConfigurationError(f"trace needs >= 1 tenants, got {n_tenants}")
+    if mean_interarrival <= 0:
+        raise ConfigurationError(
+            f"mean interarrival must be > 0, got {mean_interarrival}"
+        )
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival, size=n_requests)
+    times = np.cumsum(gaps)
+    tenants = [f"tenant{i}" for i in range(n_tenants)]
+    if hot_tenant_share is None:
+        picks = rng.integers(0, n_tenants, size=n_requests)
+    else:
+        if not 0.0 <= hot_tenant_share <= 1.0:
+            raise ConfigurationError(
+                f"hot tenant share must be in [0, 1], got {hot_tenant_share}"
+            )
+        hot = rng.random(n_requests) < hot_tenant_share
+        cold = rng.integers(min(1, n_tenants - 1), n_tenants, size=n_requests)
+        picks = np.where(hot, 0, cold)
+    return [
+        TraceRequest(
+            time=float(times[i]),
+            tenant=tenants[int(picks[i])],
+            x=rng.normal(size=input_shape),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def trace_from_arrays(
+    x: np.ndarray,
+    tenants: list[str] | None = None,
+    mean_interarrival: float = 1e-3,
+    seed: int | None = 0,
+) -> list[TraceRequest]:
+    """Wrap an existing dataset as a round-robin multi-tenant trace.
+
+    Useful for replaying real evaluation data (e.g. a CIFAR-like test set)
+    through the server while keeping arrival dynamics synthetic.
+    """
+    x = np.asarray(x)
+    if x.ndim < 2 or x.shape[0] == 0:
+        raise ConfigurationError("trace needs a non-empty batch-major array")
+    tenants = tenants or ["tenant0"]
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(mean_interarrival, size=x.shape[0]))
+    return [
+        TraceRequest(
+            time=float(times[i]),
+            tenant=tenants[i % len(tenants)],
+            x=x[i],
+        )
+        for i in range(x.shape[0])
+    ]

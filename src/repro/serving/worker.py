@@ -1,0 +1,133 @@
+"""Worker pool: encode -> GPU dispatch -> decode over shared hardware.
+
+All workers share one :class:`~repro.runtime.inference.PrivateInferenceEngine`
+(and therefore one enclave + GPU cluster): the enclave is the serialized
+resource in DarKnight, so parallelism comes from pipelining batches into
+whichever worker frees up first, not from duplicating trusted hardware.
+Simulated completion times use a deterministic linear service-time model
+(per-batch overhead + per-virtual-batch-slot cost) so latency metrics are
+reproducible; the masked compute itself runs for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError, IntegrityError
+from repro.runtime.inference import PrivateInferenceEngine
+from repro.serving.requests import (
+    STATUS_DECODE_FAILED,
+    STATUS_INTEGRITY_FAILED,
+    STATUS_OK,
+    RequestOutcome,
+    ScheduledBatch,
+)
+
+
+@dataclass
+class _WorkerState:
+    """Book-keeping for one pipeline stage."""
+
+    worker_id: int
+    free_at: float = 0.0
+    batches_run: int = 0
+    busy_time: float = 0.0
+
+
+class InferenceWorkerPool:
+    """Dispatches scheduled batches onto simulated pipeline workers.
+
+    Parameters
+    ----------
+    engine:
+        The shared private-inference engine; its backend pads partial
+        batches up to the virtual-batch size internally.
+    n_workers:
+        Pipeline depth — batches overlap when one worker is still busy
+        (in simulated time) as another becomes free.
+    service_time:
+        ``service_time(batch) -> float`` simulated seconds one batch
+        occupies a worker.  Defaults to a linear model over the batch's
+        virtual-batch *slots* (padding costs the same as real samples,
+        exactly like the enclave encode does).
+    """
+
+    def __init__(
+        self,
+        engine: PrivateInferenceEngine,
+        n_workers: int = 1,
+        service_time: Callable[[ScheduledBatch], float] | None = None,
+        base_service_time: float = 2e-3,
+        per_slot_service_time: float = 5e-4,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
+        self.engine = engine
+        self._workers = [_WorkerState(i) for i in range(n_workers)]
+        self._service_time = service_time or (
+            lambda batch: base_service_time + per_slot_service_time * batch.slots
+        )
+
+    def dispatch(self, batch: ScheduledBatch) -> list[RequestOutcome]:
+        """Run one batch through the masked pipeline; never raises.
+
+        Integrity and decode failures are converted into per-request
+        failure outcomes so one byzantine GPU cannot crash the server.
+        """
+        worker = min(self._workers, key=lambda w: (w.free_at, w.worker_id))
+        start = max(batch.flush_time, worker.free_at)
+        service = self._service_time(batch)
+        worker.free_at = start + service
+        worker.batches_run += 1
+        worker.busy_time += service
+        completion = start + service
+
+        x = np.stack([req.x for req in batch.requests])
+        status, error, logits = STATUS_OK, None, None
+        try:
+            logits = self.engine.run_batch(x)
+        except IntegrityError as exc:
+            status, error = STATUS_INTEGRITY_FAILED, str(exc)
+        except DecodingError as exc:
+            status, error = STATUS_DECODE_FAILED, str(exc)
+
+        outcomes = []
+        for i, req in enumerate(batch.requests):
+            row = logits[i] if logits is not None else None
+            outcomes.append(
+                RequestOutcome(
+                    request_id=req.request_id,
+                    tenant=req.tenant,
+                    status=status,
+                    arrival_time=req.arrival_time,
+                    dispatch_time=start,
+                    completion_time=completion,
+                    batch_id=batch.batch_id,
+                    logits=row,
+                    prediction=int(np.argmax(row)) if row is not None else None,
+                    error=error,
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Pipeline depth."""
+        return len(self._workers)
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker batch counts and busy time."""
+        return [
+            {
+                "worker_id": w.worker_id,
+                "batches_run": w.batches_run,
+                "busy_time": w.busy_time,
+            }
+            for w in self._workers
+        ]

@@ -1,6 +1,10 @@
-"""Smoke test for the ``python -m repro`` report entry point."""
+"""Smoke tests for the ``python -m repro`` command-line entry points."""
 
 import runpy
+
+import pytest
+
+from repro.cli import main, parse_seed_flag
 
 
 def test_module_entry_point_prints_report(capsys):
@@ -11,3 +15,52 @@ def test_module_entry_point_prints_report(capsys):
     out = capsys.readouterr().out
     assert "Table 1" in out
     assert "headline" in out
+
+
+def test_serve_subcommand_smoke(capsys):
+    """Tier-1 end-to-end: the serving subsystem behind the CLI."""
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--requests", "16",
+            "--tenants", "2",
+            "--virtual-batch", "4",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "served 16 requests from 2 tenants" in out
+    assert "Serving metrics" in out
+    assert "completed requests  | 16" in out
+    assert "attestation handshakes" in out
+
+
+def test_serve_subcommand_with_integrity(capsys):
+    rc = main(
+        ["serve", "--model", "tiny", "--requests", "8", "--integrity", "--seed", "1"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "integrity=on" in out
+    assert "integrity failures  | 0" in out
+
+
+def test_explicit_report_subcommand(capsys):
+    assert main(["report"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    [
+        ([], 0),
+        (["--seed", "7"], 7),
+        (["--seed=9"], 9),
+        (["--other", "--seed", "3", "x"], 3),
+        (["--seed", "not-a-number"], 0),
+    ],
+)
+def test_parse_seed_flag(argv, expected):
+    assert parse_seed_flag(argv) == expected

@@ -213,3 +213,55 @@ def test_config_share_accounting():
     assert cfg.extra_shares == 1
     assert cfg.n_shares == 6
     assert cfg.n_gpus_required == 6
+
+
+def test_coefficient_cache_skips_regeneration(nprng):
+    """With fresh_coefficients=False, same-shape batches reuse one set."""
+    backend = _backend(k=2, fresh_coefficients=False)
+    x = nprng.normal(size=(4, 8))
+    w = nprng.normal(size=(8, 3))
+    for step in range(3):
+        backend.dense_forward(x, w, None, key="d")
+        backend.end_batch()
+    counts = backend.enclave.ledger.op_counts
+    assert counts.get("generate_coefficients") == 1
+    # 3 steps x 2 virtual batches = 6 encodes, 5 of them from the cache.
+    assert counts.get("reuse_coefficients") == 5
+
+
+def test_coefficient_cache_preserves_correctness(nprng):
+    """Cached coefficients decode exactly like fresh ones."""
+    x = nprng.normal(size=(4, 8))
+    w = nprng.normal(size=(8, 3))
+    cached = _backend(k=2, fresh_coefficients=False, validate_decode=True)
+    for _ in range(2):
+        out = cached.dense_forward(x, w, None, key="d")
+        cached.end_batch()
+    plain = x @ w
+    assert np.max(np.abs(out - plain)) < 0.05
+
+
+def test_fresh_coefficients_default_regenerates_every_batch(nprng):
+    backend = _backend(k=2)
+    x = nprng.normal(size=(4, 8))
+    w = nprng.normal(size=(8, 3))
+    for _ in range(2):
+        backend.dense_forward(x, w, None, key="d")
+        backend.end_batch()
+    counts = backend.enclave.ledger.op_counts
+    assert counts.get("generate_coefficients") == 4
+    assert "reuse_coefficients" not in counts
+
+
+def test_cached_coefficients_keep_noise_fresh(nprng):
+    """Reusing A/B/Gamma must not reuse the per-encode noise vectors."""
+    backend = _backend(k=2, fresh_coefficients=False)
+    x = nprng.normal(size=(2, 8))
+    w = nprng.normal(size=(8, 3))
+    backend.dense_forward(x, w, None, key="d")
+    share_a = backend.cluster[0].stored_shares["d/step0/vb0"].copy()
+    backend.end_batch()
+    backend.dense_forward(x, w, None, key="d")
+    share_b = backend.cluster[0].stored_shares["d/step1/vb0"].copy()
+    backend.end_batch()
+    assert not np.array_equal(share_a, share_b)

@@ -1,0 +1,82 @@
+"""Tests for the serving metrics collector."""
+
+import math
+
+from repro.serving import ServerMetrics
+from repro.serving.requests import (
+    STATUS_INTEGRITY_FAILED,
+    STATUS_OK,
+    RequestOutcome,
+    ScheduledBatch,
+)
+
+
+def _ok(request_id, tenant, arrival, completion):
+    return RequestOutcome(
+        request_id=request_id,
+        tenant=tenant,
+        status=STATUS_OK,
+        arrival_time=arrival,
+        dispatch_time=arrival,
+        completion_time=completion,
+        prediction=0,
+    )
+
+
+def test_latency_percentiles_and_throughput():
+    metrics = ServerMetrics()
+    for i in range(100):
+        metrics.record_outcome(_ok(i, "t0", arrival=float(i), completion=i + 0.010))
+    assert metrics.completed == 100
+    assert math.isclose(metrics.latency_percentile(50), 0.010)
+    assert math.isclose(metrics.latency_percentile(99), 0.010)
+    assert math.isclose(metrics.mean_latency, 0.010)
+    # 100 completions over the 99.01s arrival..last-completion span.
+    assert math.isclose(metrics.throughput, 100 / 99.010, rel_tol=1e-9)
+
+
+def test_batch_fill_and_trigger_accounting():
+    metrics = ServerMetrics()
+    metrics.record_batch(ScheduledBatch(batch_id=0, requests=[1, 2, 3, 4], slots=4))
+    metrics.record_batch(
+        ScheduledBatch(batch_id=1, requests=[5], trigger="deadline", slots=4)
+    )
+    assert metrics.batches == 2
+    assert math.isclose(metrics.batch_fill_ratio, (1.0 + 0.25) / 2)
+    assert metrics.flush_triggers() == {"size": 1, "deadline": 1}
+
+
+def test_failures_and_shed_are_counted_not_completed():
+    metrics = ServerMetrics()
+    metrics.record_outcome(_ok(0, "a", 0.0, 0.01))
+    metrics.record_outcome(
+        RequestOutcome(
+            request_id=1,
+            tenant="b",
+            status=STATUS_INTEGRITY_FAILED,
+            arrival_time=0.0,
+        )
+    )
+    metrics.record_shed("b", now=0.5)
+    snap = metrics.snapshot()
+    assert snap["completed"] == 1
+    assert snap["integrity_failures"] == 1
+    assert snap["shed"] == 1
+    assert metrics.completed_by_tenant() == {"a": 1}
+    assert metrics.shed_by_tenant() == {"b": 1}
+
+
+def test_render_is_a_table_with_headline_metrics():
+    metrics = ServerMetrics()
+    metrics.record_outcome(_ok(0, "a", 0.0, 0.02))
+    text = metrics.render()
+    assert "latency p99" in text
+    assert "throughput" in text
+    assert "batch fill ratio" in text
+
+
+def test_empty_metrics_do_not_crash():
+    metrics = ServerMetrics()
+    assert metrics.throughput == 0.0
+    assert math.isnan(metrics.latency_percentile(50))
+    assert metrics.batch_fill_ratio == 0.0

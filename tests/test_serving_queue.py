@@ -1,0 +1,77 @@
+"""Tests for the bounded multi-tenant request queue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.serving import PendingRequest, RequestQueue
+
+
+def _req(request_id, tenant="t0", t=0.0):
+    return PendingRequest(
+        request_id=request_id,
+        tenant=tenant,
+        x=np.zeros(4),
+        arrival_time=t,
+        enqueue_time=t,
+    )
+
+
+def test_single_tenant_fifo_order():
+    q = RequestQueue(capacity=8)
+    for i in range(5):
+        q.push(_req(i))
+    assert [r.request_id for r in q.pop_fair(5)] == [0, 1, 2, 3, 4]
+    assert q.depth == 0
+
+
+def test_round_robin_interleaves_tenants():
+    q = RequestQueue(capacity=32)
+    for i in range(10):
+        q.push(_req(i, tenant="hog"))
+    for i in range(2):
+        q.push(_req(100 + i, tenant="mouse"))
+    popped = q.pop_fair(4)
+    # One per tenant per rotation: the saturating tenant cannot fill a batch.
+    assert [r.tenant for r in popped] == ["hog", "mouse", "hog", "mouse"]
+
+
+def test_rotation_resumes_where_it_stopped():
+    q = RequestQueue(capacity=32)
+    for tenant in ("a", "b", "c"):
+        for i in range(3):
+            q.push(_req(i, tenant=tenant))
+    first = [r.tenant for r in q.pop_fair(2)]
+    second = [r.tenant for r in q.pop_fair(2)]
+    assert first == ["a", "b"]
+    assert second == ["c", "a"]
+
+
+def test_backpressure_sheds_beyond_capacity():
+    q = RequestQueue(capacity=3)
+    for i in range(3):
+        q.push(_req(i))
+    with pytest.raises(BackpressureError):
+        q.push(_req(99))
+    assert q.shed_count == 1
+    assert q.depth == 3
+    # Draining frees capacity again.
+    q.pop_fair(1)
+    q.push(_req(4))
+    assert q.depth == 3
+
+
+def test_oldest_enqueue_time_tracks_heads():
+    q = RequestQueue(capacity=8)
+    assert q.oldest_enqueue_time() is None
+    q.push(_req(0, tenant="a", t=1.0))
+    q.push(_req(1, tenant="b", t=0.5))
+    assert q.oldest_enqueue_time() == 0.5
+    q.pop_fair(1)  # pops tenant a first (arrival order of tenants)
+    assert q.oldest_enqueue_time() == 0.5
+    assert q.depth_by_tenant() == {"b": 1}
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        RequestQueue(capacity=0)
