@@ -124,7 +124,16 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--batch-wait", type=float, default=0.01,
         help="max seconds a request waits before a partial batch flushes",
     )
-    parser.add_argument("--workers", type=int, default=2, help="pipeline depth")
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="accepted for compatibility; overlap now comes from the staged"
+             " pipeline (use --pipeline-depth)",
+    )
+    parser.add_argument(
+        "--pipeline-depth", type=int, default=1,
+        help="virtual batches kept in flight by the staged executor"
+             " (1 = synchronous; >= 2 overlaps enclave encode with GPU compute)",
+    )
     parser.add_argument(
         "--queue-capacity", type=int, default=256, help="bounded queue size"
     )
@@ -159,11 +168,16 @@ def _serve(args) -> int:
 
     if args.rate <= 0:
         raise ConfigurationError(f"--rate must be > 0, got {args.rate}")
+    if args.pipeline_depth < 1:
+        raise ConfigurationError(
+            f"--pipeline-depth must be >= 1, got {args.pipeline_depth}"
+        )
     network, input_shape = build_serving_model(args.model, seed=args.seed)
     config = ServingConfig(
         darknight=DarKnightConfig(
             virtual_batch_size=args.virtual_batch,
             integrity=args.integrity,
+            pipeline_depth=args.pipeline_depth,
             seed=args.seed,
         ),
         max_batch_wait=args.batch_wait,
@@ -183,7 +197,8 @@ def _serve(args) -> int:
     mode = "per-request" if args.per_request else f"coalesced K={args.virtual_batch}"
     print(
         f"served {args.requests} requests from {args.tenants} tenants"
-        f" ({mode}, integrity={'on' if args.integrity else 'off'})"
+        f" ({mode}, integrity={'on' if args.integrity else 'off'},"
+        f" pipeline depth {args.pipeline_depth})"
     )
     print(report.render())
     return 0

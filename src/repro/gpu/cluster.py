@@ -107,6 +107,32 @@ class GpuCluster:
         )
 
     # ------------------------------------------------------------------
+    # simulated completion model
+    # ------------------------------------------------------------------
+    def reserve_shares(
+        self, n_shares: int, duration: float, not_before: float = 0.0
+    ) -> tuple[float, float]:
+        """Occupy devices ``0..n_shares-1`` for one dispatched virtual batch.
+
+        Share ``j`` runs on device ``j`` for ``duration`` simulated seconds;
+        a device still busy with an earlier batch's share delays its start.
+        Returns ``(first_start, ready_at)`` where ``ready_at`` is when the
+        *last* share completes — the gather/decode stage waits for it.
+        """
+        if n_shares > len(self.devices):
+            raise GpuError(
+                f"need {n_shares} devices, cluster has {len(self.devices)}"
+            )
+        starts, ends = zip(
+            *(self.devices[j].reserve(not_before, duration) for j in range(n_shares))
+        )
+        return min(starts), max(ends)
+
+    def max_busy_time(self) -> float:
+        """Busiest single device's simulated compute seconds."""
+        return max(d.busy_time for d in self.devices)
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def total_mac_ops(self) -> int:

@@ -63,6 +63,10 @@ class SimulatedGpu:
         self.float_kernels = FloatKernels()
         self.faults = fault_injector
         self.ledger = GpuLedger()
+        #: Simulated clock: when this device finishes its current share.
+        self.free_at = 0.0
+        #: Simulated seconds this device has spent computing shares.
+        self.busy_time = 0.0
         #: Weights are public in DarKnight's threat model and live on-device.
         self.weights: dict[str, np.ndarray] = {}
         #: Encoded activations kept for backward (Section 6 storage optimisation).
@@ -94,6 +98,25 @@ class SimulatedGpu:
     def drop_share(self, key: str) -> None:
         """Free a stored share (end of a virtual batch)."""
         self.stored_shares.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # simulated completion model
+    # ------------------------------------------------------------------
+    def reserve(self, not_before: float, duration: float) -> tuple[float, float]:
+        """Occupy this device for ``duration`` simulated seconds.
+
+        A device runs one share's kernel at a time: the reservation starts
+        when both the dispatch (``not_before``) and the device's previous
+        kernel allow, serializing virtual batches that land on the same GPU.
+        Returns ``(start, end)``.
+        """
+        if duration < 0:
+            raise GpuError(f"kernel duration must be >= 0, got {duration}")
+        start = max(self.free_at, not_before)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        return start, end
 
     # ------------------------------------------------------------------
     # masked kernels

@@ -16,7 +16,7 @@ from repro.nn.layers import (
     ResidualBlock,
 )
 from repro.nn.loss import SoftmaxCrossEntropy
-from repro.nn.network import Sequential
+from repro.nn.network import PlanStep, Sequential
 from repro.nn.optimizer import SGD, StepDecaySchedule
 from repro.nn.serialization import load_checkpoint, save_checkpoint
 
@@ -35,6 +35,7 @@ __all__ = [
     "Flatten",
     "BatchNorm2D",
     "ResidualBlock",
+    "PlanStep",
     "Sequential",
     "SoftmaxCrossEntropy",
     "SGD",

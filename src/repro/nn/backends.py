@@ -70,6 +70,42 @@ class LinearBackend(Protocol):
         ...
 
 
+class StagedLinearBackend(LinearBackend, Protocol):
+    """A backend whose forward linear ops are explicitly schedulable.
+
+    The blocking :class:`LinearBackend` calls hide DarKnight's three-phase
+    structure; a staged backend exposes each phase as a first-class op so a
+    pipeline scheduler (:class:`repro.pipeline.PipelineExecutor`) can
+    interleave them across virtual batches — encode batch ``n+1`` in the
+    enclave while batch ``n``'s shares run on the GPUs.  The blocking calls
+    remain available and MUST be bit-identical to driving the stages
+    back-to-back (``pipeline_depth=1``).
+
+    The ``vb``/ticket/future types are duck-typed here to keep the layer
+    package free of pipeline imports; the canonical implementations live in
+    :mod:`repro.pipeline.stages`.
+    """
+
+    def stage_linear(
+        self, kind: str, w: np.ndarray, b: np.ndarray | None, key: str,
+        stride: int = 1, pad: int = 0,
+    ):
+        """Per-layer preparation: quantize + broadcast weights, pick kernel."""
+        ...
+
+    def encode(self, op, vb, vb_index: int):
+        """Mask one virtual batch and scatter shares; returns a ticket."""
+        ...
+
+    def dispatch(self, ticket):
+        """Run the bilinear kernel per share; returns a GPU future."""
+        ...
+
+    def decode(self, future) -> np.ndarray:
+        """Gather/verify/unmask a completed future; real rows only."""
+        ...
+
+
 class PlainBackend:
     """Reference float backend: everything runs locally in float64."""
 

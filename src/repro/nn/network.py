@@ -2,13 +2,34 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.backends import LinearBackend, PlainBackend
-from repro.nn.layers import Layer, ResidualBlock
+from repro.nn.layers import Conv2D, Dense, Layer, ResidualBlock
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a network's execution plan.
+
+    ``offloaded`` marks layers whose bilinear op goes through the backend
+    seam — exactly the steps a staged backend can split into
+    encode/dispatch/decode and overlap across virtual batches.  All other
+    steps are TEE-resident and run as one local enclave task.
+    """
+
+    index: int
+    layer: Layer
+    offloaded: bool
+
+    @property
+    def name(self) -> str:
+        """The layer's identity (also its backend key)."""
+        return self.layer.name
 
 
 class Sequential:
@@ -47,21 +68,40 @@ class Sequential:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def execution_plan(self) -> list[PlanStep]:
+        """The layer walk as explicit, schedulable steps.
+
+        Backend-driven execution iterates this plan instead of an inline
+        loop: :meth:`forward` drives every step to completion in order,
+        while :class:`repro.pipeline.PipelineExecutor` interleaves the
+        offloaded steps' stages across in-flight virtual batches.
+
+        Composite layers (:class:`~repro.nn.layers.ResidualBlock`) appear
+        as single non-offloaded steps: their inner convolutions still
+        offload through the blocking backend path, so such models pipeline
+        at block granularity only (finer-grained plans are a scheduler
+        follow-on, not a numerics change).
+        """
+        return [
+            PlanStep(index=i, layer=layer, offloaded=isinstance(layer, (Conv2D, Dense)))
+            for i, layer in enumerate(self.layers)
+        ]
+
     def forward(
         self,
         x: np.ndarray,
         backend: LinearBackend | None = None,
         training: bool = True,
     ) -> np.ndarray:
-        """Run the network; ``backend`` defaults to plain float."""
+        """Run the network synchronously; ``backend`` defaults to plain float."""
         backend = backend or PlainBackend()
         if tuple(x.shape[1:]) != self.input_shape:
             raise ConfigurationError(
                 f"input shape {tuple(x.shape[1:])} != expected {self.input_shape}"
             )
         out = x
-        for layer in self.layers:
-            out = layer.forward(out, backend, training)
+        for step in self.execution_plan():
+            out = step.layer.forward(out, backend, training)
         return out
 
     def backward(self, grad_out: np.ndarray, backend: LinearBackend | None = None):

@@ -1,0 +1,343 @@
+"""Event-driven pipeline executor: layer-pipelined encode/compute/decode.
+
+The paper's Fig. 7 threading argument, made schedulable: each virtual batch
+is a *job* that flows through the network's execution plan, and the enclave
+— the single serialized trusted resource — picks the next stage to run from
+every in-flight job's frontier.  While job ``n``'s shares grind on the GPUs,
+the enclave encodes job ``n+1``'s next layer (or decodes whichever future
+completed first), so enclave and accelerator time overlap instead of
+serializing.
+
+Scheduling policy: among all runnable enclave tasks, run the one that can
+start earliest on the simulated clock; ties break toward decodes (freeing
+GPU results keeps the pipe draining) and then toward older jobs.  With
+``pipeline_depth=1`` exactly one job is in flight and the schedule collapses
+to the classic synchronous order.
+
+Real values and simulated time are deliberately decoupled: kernels execute
+eagerly in program order, but every stage *reserves* simulated intervals on
+the enclave timeline and device clocks, and decodes are not scheduled before
+their future's ``ready_at``.  Masking decodes exactly, so schedule order can
+never change a logit — pipelined output is bit-identical to the synchronous
+path by construction (and asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.masking import iter_virtual_batches
+from repro.masking.virtual_batch import VirtualBatch
+from repro.pipeline.stages import GpuFuture, PipelineStats, StagedLinearOp, StageSpan
+from repro.pipeline.timing import DEFAULT_STAGE_COSTS, EnclaveTimeline, StageCostModel
+
+
+@dataclass
+class _Job:
+    """One virtual batch in flight through the layer plan."""
+
+    index: int
+    indices: tuple[int, ...]  #: Row positions inside the parent batch.
+    n_real: int
+    activation: np.ndarray  #: Real rows only, current layer input.
+    step_idx: int = 0  #: Next execution-plan step to run.
+    ready_at: float = 0.0  #: When the activation became available.
+    future: GpuFuture | None = None  #: Set while shares are on the GPUs.
+
+    def padded(self, k: int) -> VirtualBatch:
+        """Re-pad the activation to a full ``K``-slot virtual batch."""
+        data = self.activation
+        if self.n_real < k:
+            pad = np.zeros((k - self.n_real,) + data.shape[1:], dtype=data.dtype)
+            data = np.concatenate([data, pad], axis=0)
+        return VirtualBatch(data=data, indices=self.indices, n_real=self.n_real)
+
+
+@dataclass
+class GroupResult:
+    """One input group's (e.g. one scheduled batch's) pipelined outcome."""
+
+    output: np.ndarray
+    start: float  #: When the group's first stage began.
+    finish: float  #: When the group's last stage completed.
+
+
+@dataclass
+class PipelineResult:
+    """Output batch plus the simulated-time account of producing it."""
+
+    output: np.ndarray
+    stats: PipelineStats
+
+
+class PipelineExecutor:
+    """Walks a :class:`~repro.nn.network.Sequential`'s execution plan with
+    up to ``pipeline_depth`` virtual batches in flight.
+
+    Parameters
+    ----------
+    network:
+        The model whose :meth:`~repro.nn.network.Sequential.execution_plan`
+        is walked.
+    backend:
+        A staged backend (``stage_linear``/``encode``/``dispatch``/``decode``
+        plus the blocking ops for TEE-resident layers) sharing the enclave
+        and GPU cluster.  Inference only — training drives the synchronous
+        path, whose backward pass reuses stored forward encodings in place.
+    pipeline_depth:
+        Maximum virtual batches in flight; ``1`` reproduces the synchronous
+        schedule exactly.
+    costs:
+        Stage pricing; defaults to :data:`~repro.pipeline.timing.DEFAULT_STAGE_COSTS`.
+    timeline:
+        The enclave's serialized clock.  Pass a shared instance to overlap
+        consecutive engine batches (the serving pool does); defaults to a
+        fresh clock at zero.
+    """
+
+    def __init__(
+        self,
+        network,
+        backend,
+        pipeline_depth: int = 1,
+        costs: StageCostModel | None = None,
+        timeline: EnclaveTimeline | None = None,
+    ) -> None:
+        if pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline depth must be >= 1, got {pipeline_depth}"
+            )
+        for op_name in ("stage_linear", "encode", "dispatch", "decode"):
+            if not callable(getattr(backend, op_name, None)):
+                raise ConfigurationError(
+                    f"backend {type(backend).__name__} lacks staged op {op_name!r};"
+                    " pipelined execution needs a StagedLinearBackend"
+                )
+        self.network = network
+        self.backend = backend
+        self.pipeline_depth = pipeline_depth
+        self.costs = costs or DEFAULT_STAGE_COSTS
+        self.timeline = timeline or EnclaveTimeline()
+
+    # ------------------------------------------------------------------
+    # plan preparation
+    # ------------------------------------------------------------------
+    def _stage_ops(self) -> dict[int, StagedLinearOp]:
+        """Prepare every offloaded layer once (weights broadcast per batch)."""
+        ops: dict[int, StagedLinearOp] = {}
+        for step in self.network.execution_plan():
+            if not step.offloaded:
+                continue
+            layer = step.layer
+            if hasattr(layer, "kernel_size"):
+                ops[step.index] = self.backend.stage_linear(
+                    "conv2d",
+                    layer.params["w"],
+                    layer.params.get("b"),
+                    layer.name,
+                    stride=layer.stride,
+                    pad=layer.pad,
+                )
+            else:
+                ops[step.index] = self.backend.stage_linear(
+                    "dense", layer.params["w"], layer.params.get("b"), layer.name
+                )
+        return ops
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray, release_time: float = 0.0) -> PipelineResult:
+        """Execute one batch, interleaving stages across virtual batches.
+
+        ``release_time`` is when the batch's data becomes available on the
+        simulated clock (a serving batch's flush time); no stage is
+        scheduled before it.
+        """
+        groups, stats = self.run_grouped([(x, release_time)])
+        return PipelineResult(output=groups[0].output, stats=stats)
+
+    def run_grouped(
+        self, items: list[tuple[np.ndarray, float]]
+    ) -> tuple[list[GroupResult], PipelineStats]:
+        """Pipeline several input groups through one event loop.
+
+        Each item is ``(batch, release_time)``; a group's rows split into
+        virtual batches (jobs) released at the group's time.  All jobs —
+        across groups — share the in-flight window, so the enclave encodes
+        group ``n+1``'s first layer while group ``n``'s shares are still on
+        the GPUs: this is the serving pool's cross-batch overlap.  Returns
+        per-group outputs with their own start/finish times, plus the
+        window-wide stats.
+        """
+        k = self.backend.config.virtual_batch_size
+        plan = self.network.execution_plan()
+        ops = self._stage_ops()
+        jobs: list[_Job] = []
+        group_of: dict[int, int] = {}
+        for g, (x, release_time) in enumerate(items):
+            for vb in iter_virtual_batches(x, k):
+                job = _Job(
+                    index=len(jobs),
+                    indices=vb.indices,
+                    n_real=vb.n_real,
+                    activation=vb.data[: vb.n_real],
+                    ready_at=release_time,
+                )
+                group_of[job.index] = g
+                jobs.append(job)
+
+        enclave_busy_before = self.timeline.busy_time
+        gpu_busy_before = self.backend.cluster.max_busy_time()
+        spans: list[StageSpan] = []
+        stage_totals: dict[str, float] = {}
+        outputs: dict[int, np.ndarray] = {}
+
+        waiting = list(jobs)
+        active: list[_Job] = []
+        while waiting or active:
+            while waiting and len(active) < self.pipeline_depth:
+                active.append(waiting.pop(0))
+            job = min(active, key=self._task_rank)
+            if job.future is not None:
+                self._run_decode(job, spans, stage_totals)
+            elif plan[job.step_idx].offloaded:
+                self._run_encode(job, k, ops[job.step_idx], spans, stage_totals)
+            else:
+                self._run_tee(job, plan[job.step_idx], spans, stage_totals)
+            if job.future is None and job.step_idx == len(plan):
+                outputs[job.index] = job.activation
+                active.remove(job)
+
+        first_release = min((release for _, release in items), default=0.0)
+        stats = PipelineStats(
+            start=min((s.start for s in spans), default=first_release),
+            finish=max((s.end for s in spans), default=first_release),
+            n_jobs=len(jobs),
+            enclave_busy=self.timeline.busy_time - enclave_busy_before,
+            gpu_busy=self.backend.cluster.max_busy_time() - gpu_busy_before,
+            stage_totals=stage_totals,
+            spans=spans,
+        )
+        groups: list[GroupResult] = []
+        for g, (_, release_time) in enumerate(items):
+            members = [j for j in range(len(jobs)) if group_of[j] == g]
+            group_spans = [s for s in spans if group_of[s.job] == g]
+            groups.append(
+                GroupResult(
+                    output=np.concatenate([outputs[j] for j in members], axis=0),
+                    start=min((s.start for s in group_spans), default=release_time),
+                    finish=max((s.end for s in group_spans), default=release_time),
+                )
+            )
+        return groups, stats
+
+    # ------------------------------------------------------------------
+    # task selection and execution
+    # ------------------------------------------------------------------
+    def _task_rank(self, job: _Job) -> tuple[float, int, int]:
+        """Order enclave candidates: earliest feasible start, decodes first,
+        then oldest job — deterministic, so schedules are reproducible."""
+        if job.future is not None:
+            return (max(self.timeline.free_at, job.future.ready_at), 0, job.index)
+        return (max(self.timeline.free_at, job.ready_at), 1, job.index)
+
+    def _account(
+        self,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+        job: int,
+        layer: str,
+        stage: str,
+        resource: str,
+        start: float,
+        end: float,
+    ) -> None:
+        spans.append(
+            StageSpan(
+                job=job, layer=layer, stage=stage, resource=resource,
+                start=start, end=end,
+            )
+        )
+        totals[stage] = totals.get(stage, 0.0) + (end - start)
+
+    def _run_encode(
+        self,
+        job: _Job,
+        k: int,
+        op: StagedLinearOp,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+    ) -> None:
+        """Encode the job's next layer and put its shares in flight."""
+        ticket = self.backend.encode(op, job.padded(k), job.index)
+        start, end = self.timeline.reserve(
+            job.ready_at, self.costs.encode_time(ticket.encode_bytes)
+        )
+        self._account(spans, totals, job.index, op.key, "encode", "enclave", start, end)
+        future = self.backend.dispatch(ticket)
+        gpu_start, ready_at = self.backend.cluster.reserve_shares(
+            ticket.coefficients.n_shares,
+            self.costs.gpu_time(future.macs_per_share),
+            not_before=end,
+        )
+        future.ready_at = ready_at
+        self._account(spans, totals, job.index, op.key, "gpu", "gpu", gpu_start, ready_at)
+        job.future = future
+
+    def _run_decode(
+        self,
+        job: _Job,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+    ) -> None:
+        """Decode a completed future and advance the job one layer."""
+        future = job.future
+        op = future.ticket.op
+        y = self.backend.decode(future)
+        if op.validate is not None:
+            op.validate(y, job.activation)
+        start, end = self.timeline.reserve(
+            future.ready_at, self.costs.decode_time(future.output_bytes)
+        )
+        self._account(spans, totals, job.index, op.key, "decode", "enclave", start, end)
+        job.activation = op.apply_bias(y)
+        job.future = None
+        job.step_idx += 1
+        job.ready_at = end
+
+    def _run_tee(
+        self,
+        job: _Job,
+        step,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+    ) -> None:
+        """Run one TEE-resident layer on the real rows.
+
+        Composite layers (e.g. ``ResidualBlock``) may offload their inner
+        convolutions through the *blocking* backend path while executing
+        here.  That work is detected via the cluster's MAC counter and
+        priced honestly: the devices are reserved for the kernels and the
+        enclave stays blocked for their whole duration (no overlap — which
+        is exactly why such layers pipeline at block granularity only).
+        """
+        nbytes = int(np.asarray(job.activation).nbytes)
+        macs_before = self.backend.cluster.total_mac_ops()
+        job.activation = step.layer.forward(job.activation, self.backend, training=False)
+        macs = self.backend.cluster.total_mac_ops() - macs_before
+        duration = self.costs.local_time(nbytes)
+        if macs > 0:
+            n_shares = self.backend.config.n_shares
+            gpu_duration = self.costs.gpu_time(macs // n_shares)
+            self.backend.cluster.reserve_shares(
+                n_shares, gpu_duration, not_before=max(self.timeline.free_at, job.ready_at)
+            )
+            duration += gpu_duration
+        start, end = self.timeline.reserve(job.ready_at, duration)
+        self._account(spans, totals, job.index, step.name, "tee", "enclave", start, end)
+        job.step_idx += 1
+        job.ready_at = end

@@ -1,0 +1,125 @@
+"""First-class stage objects for the encode -> dispatch -> decode split.
+
+The synchronous backend hid the paper's three-phase structure inside one
+blocking call; these dataclasses make each phase's hand-off explicit so a
+scheduler can hold, reorder, and overlap them:
+
+* :class:`StagedLinearOp` — one linear layer prepared for offload (weights
+  quantized and broadcast, kernel chosen);
+* :class:`EncodeTicket` — one virtual batch masked and scattered, waiting
+  to be dispatched;
+* :class:`GpuFuture` — shares in flight on the cluster; carries the real
+  outputs plus the simulated completion time the decode stage must wait for.
+
+The objects deliberately carry *both* worlds: the real tensors (masked
+compute always runs for real) and the simulated-clock bookkeeping
+(:mod:`repro.pipeline.timing`) that models where the time would go on
+SGX + GPU hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.masking import CoefficientSet
+from repro.quantization import Normalization
+
+
+@dataclass
+class StagedLinearOp:
+    """A linear layer readied for staged execution.
+
+    Created once per (layer, batch) by ``DarKnightBackend.stage_linear``:
+    weights are normalised, quantized, and broadcast to every device, so
+    each virtual batch only pays for its own encode/dispatch/decode.
+    """
+
+    kind: str  #: ``"conv2d"`` or ``"dense"``.
+    key: str  #: Layer identity — pairs forward encodings with backward reuse.
+    w_norm: Normalization
+    bias: np.ndarray | None
+    #: ``gpu_op(device, share_key) -> field tensor``: the share's kernel.
+    gpu_op: Callable[[object, str], np.ndarray]
+    #: Optional float reference over real rows (``validate_decode`` mode).
+    validate: Callable[[np.ndarray, np.ndarray], None] | None = None
+
+    def apply_bias(self, y: np.ndarray) -> np.ndarray:
+        """Add the (public) bias after decode, matching the sync path."""
+        if self.bias is None:
+            return y
+        if self.kind == "conv2d":
+            return y + self.bias.reshape(1, -1, 1, 1)
+        return y + self.bias
+
+
+@dataclass
+class EncodeTicket:
+    """One virtual batch encoded and scattered, ready for GPU dispatch."""
+
+    op: StagedLinearOp
+    share_key: str  #: Where the shares live on each device.
+    coefficients: CoefficientSet
+    vb_index: int  #: Position of this virtual batch within the parent batch.
+    indices: tuple[int, ...]  #: Real-row positions inside the parent batch.
+    n_real: int  #: Leading rows that are real (the rest is padding).
+    x_norm: Normalization
+    encode_bytes: int  #: Bytes of masked shares produced (prices the encode).
+
+
+@dataclass
+class GpuFuture:
+    """Shares in flight: real outputs now, simulated completion later.
+
+    The cluster computes eagerly (simulation has no real asynchrony) but
+    the result is not *observable* until ``ready_at`` on the simulated
+    clock — the decode stage serializes behind it.
+    """
+
+    ticket: EncodeTicket
+    outputs: np.ndarray  #: Stacked per-share field results.
+    macs_per_share: int  #: Real MAC count one device performed.
+    output_bytes: int  #: Bytes the gather/decode stage must touch.
+    ready_at: float = 0.0  #: Simulated completion (set by the scheduler).
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One scheduled interval — the unit of the stage-timeline diagram."""
+
+    job: int  #: Virtual-batch (pipeline job) index.
+    layer: str  #: Layer key (or name, for TEE-resident layers).
+    stage: str  #: ``encode`` | ``gpu`` | ``decode`` | ``tee``.
+    resource: str  #: ``enclave`` or ``gpu``.
+    start: float
+    end: float
+
+
+@dataclass
+class PipelineStats:
+    """What one pipelined run cost on the simulated clock."""
+
+    start: float  #: When the first stage began.
+    finish: float  #: When the last stage completed.
+    n_jobs: int  #: Virtual batches executed.
+    enclave_busy: float  #: Enclave-occupied seconds within the run.
+    gpu_busy: float  #: Busiest single device's occupied seconds.
+    stage_totals: dict[str, float] = field(default_factory=dict)
+    spans: list[StageSpan] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end simulated seconds for the run."""
+        return self.finish - self.start
+
+    @property
+    def enclave_utilization(self) -> float:
+        """Fraction of the makespan the enclave was busy."""
+        return self.enclave_busy / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Fraction of the makespan the busiest device was busy."""
+        return self.gpu_busy / self.makespan if self.makespan > 0 else 0.0

@@ -47,6 +47,12 @@ class DarKnightConfig:
     validate_decode:
         Debug mode: cross-check every masked decode against a float
         reference and fail loudly on range overflow (tests use this).
+    pipeline_depth:
+        Virtual batches the inference pipeline keeps in flight.  ``1`` is
+        the classic synchronous path (encode, compute, decode serialize
+        per batch); ``>= 2`` lets the enclave encode batch ``n+1`` while
+        GPUs compute batch ``n`` (the paper's Fig. 7 overlap).  Outputs
+        are bit-identical at every depth.
     seed:
         Seed for all enclave randomness.
     """
@@ -61,6 +67,7 @@ class DarKnightConfig:
     sealed_aggregation: bool = False
     fresh_coefficients: bool = True
     validate_decode: bool = False
+    pipeline_depth: int = 1
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -75,6 +82,10 @@ class DarKnightConfig:
         if self.fractional_bits < 1:
             raise ConfigurationError(
                 f"fractional bits must be >= 1, got {self.fractional_bits}"
+            )
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline depth must be >= 1, got {self.pipeline_depth}"
             )
 
     @property

@@ -14,6 +14,17 @@ This is the paper's Section 3.1 flow as a :class:`~repro.nn.backends.LinearBacke
 7. ``δ``-propagation (input gradients) is offloaded unencoded — it carries
    no input data (Section 4.2).
 
+The forward flow is exposed two ways.  The classic blocking entry points
+(:meth:`DarKnightBackend.conv2d_forward` / :meth:`~DarKnightBackend.dense_forward`)
+serve training and ``pipeline_depth=1`` inference.  Underneath, the flow is
+split into three explicitly schedulable stage ops —
+:meth:`~DarKnightBackend.encode` → :meth:`~DarKnightBackend.dispatch` →
+:meth:`~DarKnightBackend.decode` — which
+:class:`repro.pipeline.PipelineExecutor` interleaves across virtual batches
+so the enclave encodes batch ``n+1`` while GPUs compute batch ``n`` (the
+paper's Fig. 7 threading argument).  Both paths share the same code and are
+bit-identical: masking decodes exactly, so stage order never changes values.
+
 Plugging this backend into any :class:`~repro.nn.network.Sequential` makes
 its linear layers private without touching model code.
 """
@@ -26,7 +37,7 @@ import numpy as np
 
 from repro.comm import LinkModel
 from repro.enclave import Enclave
-from repro.errors import DecodingError
+from repro.errors import ConfigurationError, DecodingError
 from repro.gpu import GpuCluster
 from repro.masking import (
     BackwardDecoder,
@@ -36,6 +47,8 @@ from repro.masking import (
     IntegrityVerifier,
     iter_virtual_batches,
 )
+from repro.masking.virtual_batch import VirtualBatch
+from repro.pipeline.stages import EncodeTicket, GpuFuture, StagedLinearOp
 from repro.quantization import IDENTITY, DynamicNormalizer, Normalization, QuantizationConfig
 from repro.runtime.aggregation import LargeBatchAggregator
 from repro.runtime.config import DarKnightConfig
@@ -51,6 +64,7 @@ class _ForwardRecord:
     n_real: int
     x_norm: Normalization
     w_norm: Normalization
+    vb_index: int = 0
 
 
 class DarKnightBackend:
@@ -149,69 +163,141 @@ class DarKnightBackend:
         self.enclave.record_compute("integrity_check", int(outputs.nbytes))
 
     # ------------------------------------------------------------------
-    # forward linear ops
+    # staged forward ops: stage_linear -> encode -> dispatch -> decode
     # ------------------------------------------------------------------
-    def _masked_forward(
+    def stage_linear(
         self,
-        x: np.ndarray,
-        w_q: np.ndarray,
+        kind: str,
+        w: np.ndarray,
+        b: np.ndarray | None,
         key: str,
-        gpu_op,
-        w_norm: Normalization,
-    ) -> np.ndarray:
-        """Shared forward path for conv and dense.
+        stride: int = 1,
+        pad: int = 0,
+    ) -> StagedLinearOp:
+        """Prepare one linear layer for staged execution.
 
-        ``gpu_op(device, share_key) -> field tensor`` runs the layer's
-        bilinear kernel on one device.
+        Pays the per-layer costs exactly once — weight normalisation,
+        quantization, and broadcast to every device — so each virtual batch
+        afterwards only pays encode/dispatch/decode.  ``kind`` is
+        ``"conv2d"`` or ``"dense"``.
         """
-        cfg = self.config
-        outputs: list[np.ndarray] = []
-        records: list[_ForwardRecord] = []
-        for vb_index, vb in enumerate(iter_virtual_batches(x, cfg.virtual_batch_size)):
-            data, x_norm = self._normalize(vb.data)
-            x_q = self.quantizer.quantize(data)
-            self.enclave.record_compute("quantize_inputs", int(x_q.nbytes))
-            coeffs = self._fresh_coefficients()
-            encoder = ForwardEncoder(coeffs, self.enclave.rng)
-            encoded = encoder.encode(x_q)
-            self.enclave.record_compute("encode_forward", int(encoded.shares.nbytes))
-            share_key = f"{key}/step{self._step}/vb{vb_index}"
-            self._scatter(share_key, encoded.shares)
-            gpu_outputs = self.cluster.map_shares(
-                coeffs.n_shares, lambda dev: gpu_op(dev, share_key)
+        if kind not in ("conv2d", "dense"):
+            raise ConfigurationError(f"unknown staged linear op kind {kind!r}")
+        # Re-staging a layer starts a fresh forward for it: stale records
+        # (e.g. a re-forward with fewer virtual batches before end_batch)
+        # are dropped wholesale, shares included, so backward never mixes
+        # encodings from two different forward passes.
+        stale = self._forward_store.pop(key, None)
+        if stale:
+            for record in stale:
+                self.cluster.drop_shares(record.share_key)
+        w_scaled, w_norm = self._normalize(w)
+        w_q = self.quantizer.quantize(w_scaled)
+        self.cluster.broadcast_weights(key, w_q)
+        if kind == "conv2d":
+            gpu_op = lambda dev, share_key: dev.conv2d_forward(share_key, key, stride, pad)
+        else:
+            gpu_op = lambda dev, share_key: dev.dense_forward(share_key, key)
+        validate = None
+        if self.config.validate_decode:
+            if kind == "conv2d":
+                reference = lambda rows: self._float_conv(rows, w, stride, pad)
+            else:
+                reference = lambda rows: rows @ w
+            validate = lambda got, rows: self._validate(got, reference(rows), key)
+        return StagedLinearOp(
+            kind=kind, key=key, w_norm=w_norm, bias=b, gpu_op=gpu_op, validate=validate
+        )
+
+    def encode(self, op: StagedLinearOp, vb: VirtualBatch, vb_index: int) -> EncodeTicket:
+        """Stage 1 — mask one virtual batch and scatter its shares.
+
+        The forward record is registered *before* returning, so the shares
+        now resident on the devices are always released by
+        :meth:`end_batch`, even if the pipeline aborts before this ticket
+        is ever dispatched or decoded.
+        """
+        data, x_norm = self._normalize(vb.data)
+        x_q = self.quantizer.quantize(data)
+        self.enclave.record_compute("quantize_inputs", int(x_q.nbytes))
+        coeffs = self._fresh_coefficients()
+        encoder = ForwardEncoder(coeffs, self.enclave.rng)
+        encoded = encoder.encode(x_q)
+        self.enclave.record_compute("encode_forward", int(encoded.shares.nbytes))
+        share_key = f"{op.key}/step{self._step}/vb{vb_index}"
+        self._scatter(share_key, encoded.shares)
+        self._forward_store.setdefault(op.key, []).append(
+            _ForwardRecord(
+                coefficients=coeffs,
+                share_key=share_key,
+                indices=vb.indices,
+                n_real=vb.n_real,
+                x_norm=x_norm,
+                w_norm=op.w_norm,
+                vb_index=vb_index,
             )
-            self._gather(gpu_outputs)
-            self._verify_forward(coeffs, gpu_outputs)
-            decoded = ForwardDecoder(coeffs).decode(gpu_outputs)
-            self.enclave.record_compute("decode_forward", int(decoded.nbytes))
-            y = self.quantizer.dequantize_product(decoded)
-            y = y * (x_norm.factor * w_norm.factor)
-            outputs.append(y[: vb.n_real])
-            records.append(
-                _ForwardRecord(
-                    coefficients=coeffs,
-                    share_key=share_key,
-                    indices=vb.indices,
-                    n_real=vb.n_real,
-                    x_norm=x_norm,
-                    w_norm=w_norm,
-                )
+        )
+        return EncodeTicket(
+            op=op,
+            share_key=share_key,
+            coefficients=coeffs,
+            vb_index=vb_index,
+            indices=vb.indices,
+            n_real=vb.n_real,
+            x_norm=x_norm,
+            encode_bytes=int(encoded.shares.nbytes),
+        )
+
+    def dispatch(self, ticket: EncodeTicket) -> GpuFuture:
+        """Stage 2 — run the bilinear kernel on every device holding a share.
+
+        Compute happens eagerly (the simulation has no real asynchrony);
+        the future carries the real per-share MAC count so a scheduler can
+        price when the result *would* be ready on the simulated clock.
+        """
+        coeffs = ticket.coefficients
+        macs_before = self.cluster.total_mac_ops()
+        outputs = self.cluster.map_shares(
+            coeffs.n_shares, lambda dev: ticket.op.gpu_op(dev, ticket.share_key)
+        )
+        macs = self.cluster.total_mac_ops() - macs_before
+        return GpuFuture(
+            ticket=ticket,
+            outputs=outputs,
+            macs_per_share=macs // max(1, coeffs.n_shares),
+            output_bytes=int(outputs.nbytes),
+        )
+
+    def decode(self, future: GpuFuture) -> np.ndarray:
+        """Stage 3 — gather, verify, unmask, dequantize; real rows only.
+
+        Bias is *not* applied here (callers add it after concatenation,
+        exactly like the synchronous path).
+        """
+        ticket = future.ticket
+        self._gather(future.outputs)
+        self._verify_forward(ticket.coefficients, future.outputs)
+        decoded = ForwardDecoder(ticket.coefficients).decode(future.outputs)
+        self.enclave.record_compute("decode_forward", int(decoded.nbytes))
+        y = self.quantizer.dequantize_product(decoded)
+        y = y * (ticket.x_norm.factor * ticket.op.w_norm.factor)
+        return y[: ticket.n_real]
+
+    def _masked_forward(self, x: np.ndarray, op: StagedLinearOp) -> np.ndarray:
+        """Synchronous forward: drive the three stages back to back per
+        virtual batch (the ``pipeline_depth=1`` execution order)."""
+        outputs = [
+            self.decode(self.dispatch(self.encode(op, vb, vb_index)))
+            for vb_index, vb in enumerate(
+                iter_virtual_batches(x, self.config.virtual_batch_size)
             )
-        self._forward_store[key] = records
+        ]
         return np.concatenate(outputs, axis=0)
 
     def conv2d_forward(self, x, w, b, stride, pad, key):
         """Masked convolution over the virtual-batched input."""
-        w_scaled, w_norm = self._normalize(w)
-        w_q = self.quantizer.quantize(w_scaled)
-        self.cluster.broadcast_weights(key, w_q)
-        out = self._masked_forward(
-            x,
-            w_q,
-            key,
-            lambda dev, share_key: dev.conv2d_forward(share_key, key, stride, pad),
-            w_norm,
-        )
+        op = self.stage_linear("conv2d", w, b, key, stride, pad)
+        out = self._masked_forward(x, op)
         if self.config.validate_decode:
             self._validate(out, self._float_conv(x, w, stride, pad), key)
         if b is not None:
@@ -220,16 +306,8 @@ class DarKnightBackend:
 
     def dense_forward(self, x, w, b, key):
         """Masked dense layer over the virtual-batched input."""
-        w_scaled, w_norm = self._normalize(w)
-        w_q = self.quantizer.quantize(w_scaled)
-        self.cluster.broadcast_weights(key, w_q)
-        out = self._masked_forward(
-            x,
-            w_q,
-            key,
-            lambda dev, share_key: dev.dense_forward(share_key, key),
-            w_norm,
-        )
+        op = self.stage_linear("dense", w, b, key)
+        out = self._masked_forward(x, op)
         if self.config.validate_decode:
             self._validate(out, x @ w, key)
         if b is not None:
@@ -252,6 +330,9 @@ class DarKnightBackend:
             )
         cfg = self.config
         total: np.ndarray | None = None
+        # Pipelined forwards may register records out of virtual-batch order;
+        # sum in vb order so gradients are bit-identical to the sync path.
+        records = sorted(records, key=lambda r: r.vb_index)
         for record in records:
             rows = delta[list(record.indices)]
             if rows.shape[0] < cfg.virtual_batch_size:
@@ -369,12 +450,43 @@ class DarKnightBackend:
     # lifecycle / debug
     # ------------------------------------------------------------------
     def end_batch(self) -> None:
-        """Drop stored encodings on enclave and GPUs (between train steps)."""
+        """Drop stored encodings on enclave and GPUs (between batches).
+
+        Idempotent: a second call with no intervening forward work is a
+        no-op (and does not advance the step counter), so defensive
+        ``finally:``-style cleanup can stack without consequence.  Every
+        encoding registered by :meth:`encode` is released here — including
+        tickets a pipeline abort left undispatched or undecoded.
+        """
+        if not self._forward_store:
+            return
         for records in self._forward_store.values():
             for record in records:
                 self.cluster.drop_shares(record.share_key)
         self._forward_store.clear()
         self._step += 1
+
+    def open_encodings(self) -> int:
+        """Stored (layer, virtual-batch) encodings not yet released."""
+        return sum(len(records) for records in self._forward_store.values())
+
+    def assert_encodings_released(self) -> None:
+        """Fail loudly if any encoding survived cleanup.
+
+        Checks both sides of the scatter: the enclave's forward store and
+        the shares resident on every device.  Called after
+        :meth:`end_batch` on inference exit paths so a leak (e.g. an abort
+        path that skipped a record) surfaces as an error, not as unbounded
+        simulated-GPU memory growth.
+        """
+        leaked = sorted(
+            key for dev in self.cluster.devices for key in dev.stored_shares
+        )
+        if self._forward_store or leaked:
+            raise DecodingError(
+                f"encodings not released: {self.open_encodings()} forward records"
+                f" ({sorted(self._forward_store)}), device shares {leaked[:8]}"
+            )
 
     def _float_conv(self, x, w, stride, pad):
         from repro.nn import functional as F

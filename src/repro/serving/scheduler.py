@@ -7,6 +7,13 @@ the oldest pending request has waited ``max_wait`` simulated seconds
 (deadline trigger — a partial batch ships padded rather than blowing the
 latency budget).  ``batch_size=1`` degenerates to per-request dispatch,
 which is exactly the baseline the serving benchmark compares against.
+
+Flushed batches feed the staged pipeline: each batch's ``flush_time``
+becomes its *release time* on the executor's shared timeline, and every
+batch flushed in the same event-loop step shares one pipeline window —
+so a deadline-flushed partial and the size-triggered batch behind it
+overlap in simulated time (encode ``n+1`` while ``n`` computes) instead
+of serializing through a per-batch service model.
 """
 
 from __future__ import annotations

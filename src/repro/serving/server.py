@@ -5,8 +5,9 @@ Composes the serving subsystem end to end::
     trace -> SessionManager (attest once / tenant, decrypt)
           -> RequestQueue (bounded, shed-load)
           -> VirtualBatchScheduler (coalesce, size-or-deadline flush)
-          -> InferenceWorkerPool (shared DarKnightBackend: encode -> GPU
-             dispatch -> decode, integrity-verified)
+          -> InferenceWorkerPool (shared staged pipeline: encode -> GPU
+             dispatch -> decode, integrity-verified, batches overlapping
+             on one persistent enclave/GPU timeline)
           -> ServerMetrics / ServingReport
 
 There is no network dependency: :meth:`PrivateInferenceServer.serve_trace`
@@ -28,6 +29,7 @@ from repro.enclave import Enclave
 from repro.errors import BackpressureError
 from repro.gpu import GpuCluster
 from repro.nn import Sequential
+from repro.pipeline.timing import StageCostModel
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 from repro.runtime.config import DarKnightConfig
 from repro.runtime.darknight import DarKnightBackend
@@ -61,7 +63,9 @@ class ServingConfig:
         sustained overload surfaces as shed requests instead of
         unbounded latency.
     n_workers:
-        Pipeline depth of the worker pool.
+        Accepted for compatibility; concurrency now comes from the staged
+        pipeline (``darknight.pipeline_depth``), not from duplicate
+        worker lanes.
     coalesce:
         ``False`` dispatches every request alone (the naive baseline the
         serving benchmark measures against); the enclave still pads each
@@ -72,8 +76,12 @@ class ServingConfig:
         the training escape hatch of fresh per-step coefficients).
     encrypt_requests:
         Run every sample and response through the tenant's AEAD channel.
-    base_service_time / per_slot_service_time:
-        Linear simulated service-time model for a dispatched batch.
+    stage_costs:
+        Simulated-time pricing for the pipeline stages.  Batch service
+        times come from the staged executor's real per-stage timings
+        (bytes masked, MACs run) on a persistent enclave/GPU timeline —
+        ``darknight.pipeline_depth`` controls how many virtual batches
+        overlap on it.
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -83,8 +91,7 @@ class ServingConfig:
     coalesce: bool = True
     reuse_coefficients: bool = True
     encrypt_requests: bool = True
-    base_service_time: float = 2e-3
-    per_slot_service_time: float = 5e-4
+    stage_costs: StageCostModel | None = None
     code_identity: str = DEFAULT_CODE_IDENTITY
 
 
@@ -149,7 +156,9 @@ class PrivateInferenceServer:
         backend = DarKnightBackend(
             dk, enclave=self.enclave, cluster=cluster, link=self.link
         )
-        self.engine = PrivateInferenceEngine(network, backend=backend)
+        self.engine = PrivateInferenceEngine(
+            network, backend=backend, stage_costs=self.config.stage_costs
+        )
         self.sessions = SessionManager(
             self.enclave,
             link=self.link,
@@ -164,12 +173,7 @@ class PrivateInferenceServer:
             self.config.max_batch_wait,
             slots=dk.virtual_batch_size,
         )
-        self.pool = InferenceWorkerPool(
-            self.engine,
-            n_workers=self.config.n_workers,
-            base_service_time=self.config.base_service_time,
-            per_slot_service_time=self.config.per_slot_service_time,
-        )
+        self.pool = InferenceWorkerPool(self.engine, n_workers=self.config.n_workers)
         self.metrics = ServerMetrics()
         self._outcomes: list[RequestOutcome] = []
         self._next_request_id = 0
@@ -245,18 +249,25 @@ class PrivateInferenceServer:
             )
 
     def _run_batches(self, batches) -> None:
-        """Dispatch flushed batches and account their outcomes."""
+        """Dispatch a window of flushed batches and account their outcomes.
+
+        The whole window goes to the pool in one call so its batches
+        overlap inside the staged pipeline (encode ``n+1`` while ``n``
+        computes) instead of serializing per dispatch.
+        """
+        if not batches:
+            return
         for batch in batches:
             self.metrics.record_batch(batch)
-            outcomes = self.pool.dispatch(batch)
-            for outcome in outcomes:
-                heapq.heappush(self._inflight, outcome.completion_time)
-                self.metrics.record_outcome(outcome)
-                if outcome.ok and self.config.encrypt_requests:
-                    session = self.sessions.connect(outcome.tenant)
-                    envelope = session.encrypt_response(outcome.logits)
-                    session.decrypt_response(envelope)
-            self._outcomes.extend(outcomes)
+        outcomes = self.pool.dispatch_window(list(batches))
+        for outcome in outcomes:
+            heapq.heappush(self._inflight, outcome.completion_time)
+            self.metrics.record_outcome(outcome)
+            if outcome.ok and self.config.encrypt_requests:
+                session = self.sessions.connect(outcome.tenant)
+                envelope = session.encrypt_response(outcome.logits)
+                session.decrypt_response(envelope)
+        self._outcomes.extend(outcomes)
 
     # ------------------------------------------------------------------
     # reporting

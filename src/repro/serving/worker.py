@@ -1,18 +1,18 @@
-"""Worker pool: encode -> GPU dispatch -> decode over shared hardware.
+"""Worker pool: staged encode -> GPU dispatch -> decode over shared hardware.
 
 All workers share one :class:`~repro.runtime.inference.PrivateInferenceEngine`
 (and therefore one enclave + GPU cluster): the enclave is the serialized
-resource in DarKnight, so parallelism comes from pipelining batches into
-whichever worker frees up first, not from duplicating trusted hardware.
-Simulated completion times use a deterministic linear service-time model
-(per-batch overhead + per-virtual-batch-slot cost) so latency metrics are
-reproducible; the masked compute itself runs for real.
+resource in DarKnight, so parallelism comes from the *pipeline* — the
+engine's staged executor runs every batch on a persistent simulated
+timeline (one enclave clock, per-device GPU clocks), which means batch
+``n+1``'s encode overlaps batch ``n``'s GPU compute across dispatch calls,
+not just within one batch.  Simulated completion times come from the real
+per-stage timings the pipeline produced (bytes masked, MACs executed), not
+from an a-priori service-time model; the masked compute itself runs for
+real.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
@@ -27,49 +27,35 @@ from repro.serving.requests import (
 )
 
 
-@dataclass
-class _WorkerState:
-    """Book-keeping for one pipeline stage."""
-
-    worker_id: int
-    free_at: float = 0.0
-    batches_run: int = 0
-    busy_time: float = 0.0
-
-
 class InferenceWorkerPool:
-    """Dispatches scheduled batches onto simulated pipeline workers.
+    """Dispatches scheduled batches onto the shared staged pipeline.
 
     Parameters
     ----------
     engine:
         The shared private-inference engine; its backend pads partial
-        batches up to the virtual-batch size internally.
+        batches up to the virtual-batch size internally, and its executor
+        prices every stage on the persistent simulated timeline.
     n_workers:
-        Pipeline depth — batches overlap when one worker is still busy
-        (in simulated time) as another becomes free.
-    service_time:
-        ``service_time(batch) -> float`` simulated seconds one batch
-        occupies a worker.  Defaults to a linear model over the batch's
-        virtual-batch *slots* (padding costs the same as real samples,
-        exactly like the enclave encode does).
+        Kept for interface compatibility (must be >= 1).  Overlap is now a
+        property of the staged pipeline itself — the enclave and each GPU
+        are the real serialized resources — so this no longer multiplies
+        capacity.
     """
 
     def __init__(
         self,
         engine: PrivateInferenceEngine,
         n_workers: int = 1,
-        service_time: Callable[[ScheduledBatch], float] | None = None,
-        base_service_time: float = 2e-3,
-        per_slot_service_time: float = 5e-4,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
         self.engine = engine
-        self._workers = [_WorkerState(i) for i in range(n_workers)]
-        self._service_time = service_time or (
-            lambda batch: base_service_time + per_slot_service_time * batch.slots
-        )
+        self._n_workers = n_workers
+        self.batches_run = 0
+        #: Enclave-occupied simulated seconds across all dispatched windows.
+        self.busy_time = 0.0
+        self._stage_totals: dict[str, float] = {}
 
     def dispatch(self, batch: ScheduledBatch) -> list[RequestOutcome]:
         """Run one batch through the masked pipeline; never raises.
@@ -77,40 +63,73 @@ class InferenceWorkerPool:
         Integrity and decode failures are converted into per-request
         failure outcomes so one byzantine GPU cannot crash the server.
         """
-        worker = min(self._workers, key=lambda w: (w.free_at, w.worker_id))
-        start = max(batch.flush_time, worker.free_at)
-        service = self._service_time(batch)
-        worker.free_at = start + service
-        worker.batches_run += 1
-        worker.busy_time += service
-        completion = start + service
+        return self.dispatch_window([batch])
 
-        x = np.stack([req.x for req in batch.requests])
-        status, error, logits = STATUS_OK, None, None
+    def dispatch_window(self, batches: list[ScheduledBatch]) -> list[RequestOutcome]:
+        """Pipeline a window of flushed batches through one event loop.
+
+        Every batch in the window shares the executor's in-flight window,
+        so the enclave encodes batch ``n+1`` while batch ``n``'s shares
+        are on the GPUs — cross-batch overlap, priced on the persistent
+        timeline.  A decode/integrity failure aborts the shared schedule,
+        so the window is re-dispatched batch by batch: failures isolate to
+        their own batch's requests (exactly the old per-batch semantics)
+        while healthy co-flushed batches still complete.
+        """
+        if not batches:
+            return []
+        status, error = STATUS_OK, None
+        items = [
+            (np.stack([req.x for req in batch.requests]), batch.flush_time)
+            for batch in batches
+        ]
         try:
-            logits = self.engine.run_batch(x)
-        except IntegrityError as exc:
-            status, error = STATUS_INTEGRITY_FAILED, str(exc)
-        except DecodingError as exc:
-            status, error = STATUS_DECODE_FAILED, str(exc)
+            groups, stats = self.engine.run_batch_window(items)
+            for stage, seconds in stats.stage_totals.items():
+                self._stage_totals[stage] = self._stage_totals.get(stage, 0.0) + seconds
+            self.busy_time += stats.enclave_busy
+        except (IntegrityError, DecodingError) as exc:
+            if len(batches) > 1:
+                # One bad batch aborted the shared schedule; isolate it by
+                # running every batch in its own single-batch window.
+                return [
+                    o for batch in batches for o in self.dispatch_window([batch])
+                ]
+            status = (
+                STATUS_INTEGRITY_FAILED
+                if isinstance(exc, IntegrityError)
+                else STATUS_DECODE_FAILED
+            )
+            error = str(exc)
+        if error is not None:
+            # The aborted run still occupied the enclave up to the
+            # failure point; charge it up to the clock's frontier.
+            fallback = max(self.engine.timeline.free_at, batches[0].flush_time)
+            groups = [None] * len(batches)
+        self.batches_run += len(batches)
 
         outcomes = []
-        for i, req in enumerate(batch.requests):
-            row = logits[i] if logits is not None else None
-            outcomes.append(
-                RequestOutcome(
-                    request_id=req.request_id,
-                    tenant=req.tenant,
-                    status=status,
-                    arrival_time=req.arrival_time,
-                    dispatch_time=start,
-                    completion_time=completion,
-                    batch_id=batch.batch_id,
-                    logits=row,
-                    prediction=int(np.argmax(row)) if row is not None else None,
-                    error=error,
+        for batch, group in zip(batches, groups):
+            for i, req in enumerate(batch.requests):
+                row = group.output[i] if group is not None else None
+                outcomes.append(
+                    RequestOutcome(
+                        request_id=req.request_id,
+                        tenant=req.tenant,
+                        status=status,
+                        arrival_time=req.arrival_time,
+                        dispatch_time=(
+                            group.start if group is not None else batch.flush_time
+                        ),
+                        completion_time=(
+                            group.finish if group is not None else fallback
+                        ),
+                        batch_id=batch.batch_id,
+                        logits=row,
+                        prediction=int(np.argmax(row)) if row is not None else None,
+                        error=error,
+                    )
                 )
-            )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -118,16 +137,25 @@ class InferenceWorkerPool:
     # ------------------------------------------------------------------
     @property
     def n_workers(self) -> int:
-        """Pipeline depth."""
-        return len(self._workers)
+        """Configured worker count (compatibility; see class docstring)."""
+        return self._n_workers
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Virtual batches the shared engine keeps in flight."""
+        return self.engine.pipeline_depth
+
+    def stage_totals(self) -> dict[str, float]:
+        """Cumulative simulated seconds per stage across all batches."""
+        return dict(self._stage_totals)
 
     def worker_stats(self) -> list[dict]:
-        """Per-worker batch counts and busy time."""
+        """Aggregate pipeline stats (single shared enclave/GPU stack)."""
         return [
             {
-                "worker_id": w.worker_id,
-                "batches_run": w.batches_run,
-                "busy_time": w.busy_time,
+                "worker_id": 0,
+                "batches_run": self.batches_run,
+                "busy_time": self.busy_time,
+                "stage_totals": self.stage_totals(),
             }
-            for w in self._workers
         ]

@@ -47,6 +47,58 @@ def test_serve_subcommand_with_integrity(capsys):
     assert "integrity failures  | 0" in out
 
 
+def test_serve_subcommand_with_pipeline_depth(capsys):
+    """--pipeline-depth threads to the staged executor and serves cleanly."""
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--requests", "16",
+            "--tenants", "2",
+            "--pipeline-depth", "3",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pipeline depth 3" in out
+    assert "completed requests  | 16" in out
+
+
+def test_serve_rejects_pipeline_depth_below_one(capsys):
+    rc = main(["serve", "--model", "tiny", "--pipeline-depth", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--pipeline-depth must be >= 1" in err
+
+
+def test_pipelined_serve_completes_the_same_trace(capsys):
+    """Same trace, same seed: depth 3 completes every request depth 1 does.
+
+    (Bit-identity of the served logits across depths is asserted at the
+    server level in test_serving_server.py; the CLI only prints counts.)
+    """
+    import re
+
+    outputs = []
+    for depth in ("1", "3"):
+        rc = main(
+            [
+                "serve",
+                "--model", "tiny",
+                "--requests", "12",
+                "--pipeline-depth", depth,
+                "--seed", "4",
+            ]
+        )
+        assert rc == 0
+        outputs.append(capsys.readouterr().out)
+    counts = [
+        re.search(r"completed requests\s+\|\s+(\d+)", out).group(1) for out in outputs
+    ]
+    assert counts == ["12", "12"]
+
+
 def test_explicit_report_subcommand(capsys):
     assert main(["report"]) == 0
     assert "Table 1" in capsys.readouterr().out

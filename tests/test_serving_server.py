@@ -173,6 +173,83 @@ def test_fresh_coefficients_escape_hatch_disables_the_cache():
     assert ledger.op_counts.get("reuse_coefficients", 0) == 0
 
 
+def test_pipelined_server_logits_bit_identical_to_synchronous():
+    """Depth 4 serving must produce the exact logits of depth-1 serving."""
+    trace = synthetic_trace(24, (16,), n_tenants=3, seed=11)
+    by_depth = {}
+    for depth in (1, 4):
+        dk = DarKnightConfig(virtual_batch_size=4, seed=0, pipeline_depth=depth)
+        server = PrivateInferenceServer(_tiny_net(), _config(darknight=dk))
+        report = server.serve_trace(trace)
+        assert len(report.completed) == 24
+        by_depth[depth] = {o.request_id: o.logits for o in report.completed}
+    for rid, logits in by_depth[1].items():
+        assert np.array_equal(logits, by_depth[4][rid])
+
+
+class _TransientTamper:
+    """Corrupts the first ``fail_calls`` dense kernels, then goes honest."""
+
+    def __init__(self, field, fail_calls=1):
+        from repro.gpu import RandomTamper
+
+        self._inner = RandomTamper(field, probability=1.0, seed=9)
+        self._remaining = fail_calls
+
+    def corrupt(self, tensor, device_id, op_name):
+        if op_name == "dense_forward" and self._remaining > 0:
+            self._remaining -= 1
+            return self._inner.corrupt(tensor, device_id, op_name)
+        return tensor
+
+
+def test_window_abort_retries_batches_individually():
+    """A transient fault aborting a shared window must not fail co-flushed
+    batches: the pool re-dispatches per batch and all requests complete."""
+    from repro.runtime.darknight import DarKnightBackend
+    from repro.runtime.inference import PrivateInferenceEngine
+    from repro.serving import InferenceWorkerPool, PendingRequest, ScheduledBatch
+
+    net = _tiny_net()
+    dk = DarKnightConfig(
+        virtual_batch_size=2, integrity=True, seed=12, pipeline_depth=2
+    )
+    field = PrimeField()
+    cluster = GpuCluster(
+        field, dk.n_gpus_required, fault_injectors={0: _TransientTamper(field)}
+    )
+    engine = PrivateInferenceEngine(
+        net, backend=DarKnightBackend(dk, cluster=cluster)
+    )
+    pool = InferenceWorkerPool(engine)
+    rng = np.random.default_rng(13)
+    batches = [
+        ScheduledBatch(
+            batch_id=b,
+            requests=[
+                PendingRequest(
+                    request_id=2 * b + i,
+                    tenant=f"tenant{i}",
+                    x=rng.normal(size=16),
+                    arrival_time=0.0,
+                    enqueue_time=0.0,
+                )
+                for i in range(2)
+            ],
+            flush_time=0.0,
+            trigger="drain",
+            slots=2,
+        )
+        for b in range(3)
+    ]
+    outcomes = pool.dispatch_window(batches)
+    # The tampered kernel aborted the shared window; each batch was then
+    # retried alone, the fault had passed, and every request completed.
+    assert len(outcomes) == 6
+    assert all(o.ok for o in outcomes)
+    engine.backend.assert_encodings_released()
+
+
 def test_report_renders_metrics_and_session_facts():
     net = _tiny_net()
     trace = synthetic_trace(8, (16,), n_tenants=2, seed=9)
