@@ -48,9 +48,9 @@ def _run(coalesce: bool, n_requests: int, integrity: bool, seed: int = 0):
     return report, wall
 
 
-def test_coalescing_beats_per_request_dispatch(benchmark, capsys):
+def test_coalescing_beats_per_request_dispatch(benchmark, capsys, quick):
     """>= 2x simulated *and* wall-clock throughput at equal settings."""
-    n = 200
+    n = 64 if quick else 200
 
     def run_pair():
         return _run(coalesce=True, n_requests=n, integrity=False), _run(
@@ -103,9 +103,10 @@ def test_coalescing_beats_per_request_dispatch(benchmark, capsys):
     assert per_request.metrics.batch_fill_ratio <= 1.0 / K + 1e-9
 
 
-def test_thousand_request_trace_with_integrity(benchmark, capsys):
-    """1,000 verified requests, zero decode errors, predictions correct."""
-    n = 1000
+def test_thousand_request_trace_with_integrity(benchmark, capsys, quick):
+    """1,000 verified requests, zero decode errors, predictions correct
+    (``--quick`` smoke mode verifies the same invariants on 200)."""
+    n = 200 if quick else 1000
 
     report, wall = benchmark.pedantic(
         lambda: _run(coalesce=True, n_requests=n, integrity=True, seed=1),
@@ -134,7 +135,10 @@ def test_thousand_request_trace_with_integrity(benchmark, capsys):
     agreement = np.mean(
         np.argmax(logits, axis=1) == np.argmax(reference, axis=1)
     )
-    assert agreement >= 0.99, f"argmax agreement only {agreement:.3f}"
+    # Near-tie argmax flips are quantization noise; the smaller --quick
+    # sample makes the ratio bar correspondingly noisier.
+    bar = 0.99 if n >= 1000 else 0.98
+    assert agreement >= bar, f"argmax agreement only {agreement:.3f}"
 
     show(
         capsys,

@@ -1,0 +1,168 @@
+"""Multi-enclave sharding scale-up: parallel timelines vs one enclave clock.
+
+DarKnight's enclave serializes every encode/decode on one timeline; once
+the staged pipeline saturates it, the only way forward is *out*: partition
+tenants across several enclave + GPU shards behind one scheduler
+(``DarKnightConfig.num_shards``).  This benchmark drives an identical
+enclave-bound trace — a tiny dense model where per-stage enclave overhead
+dominates GPU MACs, i.e. the regime where pipelining alone cannot help —
+through 1, 2, and 4 shards and compares simulated serving throughput.
+
+Correctness rides along: per-sample normalization makes a request's
+logits independent of batch composition, so every shard count must serve
+bit-identical responses on the same trace (asserted per request).
+
+Acceptance: >= 2.5x simulated throughput at 4 shards vs 1, monotone
+scaling 1 -> 2 -> 4, and zero decode/integrity errors at every count.
+"""
+
+import time
+
+import numpy as np
+from conftest import show
+
+from repro.cli import build_serving_model
+from repro.reporting import render_table
+from repro.runtime import DarKnightConfig
+from repro.serving import PrivateInferenceServer, ServingConfig, synthetic_trace
+
+INPUT_SHAPE = (16,)
+K = 4
+N_TENANTS = 16
+SHARD_COUNTS = (1, 2, 4)
+
+#: Offered load: a request every 20 simulated microseconds, far above one
+#: enclave timeline's service rate — the sharding win needs saturation.
+MEAN_INTERARRIVAL = 2e-5
+MAX_BATCH_WAIT = 2e-3
+
+
+def _run(num_shards: int, trace, seed: int = 0):
+    """Serve one trace over ``num_shards`` shards; returns (report, wall)."""
+    config = ServingConfig(
+        darknight=DarKnightConfig(
+            virtual_batch_size=K, seed=seed, num_shards=num_shards
+        ),
+        max_batch_wait=MAX_BATCH_WAIT,
+        queue_capacity=2 * len(trace),
+    )
+    network, input_shape = build_serving_model("tiny", seed=seed)
+    assert input_shape == INPUT_SHAPE
+    server = PrivateInferenceServer(network, config)
+    start = time.perf_counter()
+    report = server.serve_trace(trace)
+    wall = time.perf_counter() - start
+    return report, wall
+
+
+def test_sharding_scales_enclave_bound_throughput(benchmark, capsys, quick):
+    """>= 2.5x simulated throughput at 4 shards, bit-identical logits."""
+    n = 120 if quick else 400
+    trace = synthetic_trace(
+        n, INPUT_SHAPE, n_tenants=N_TENANTS,
+        mean_interarrival=MEAN_INTERARRIVAL, seed=3,
+    )
+
+    def sweep():
+        return {s: _run(s, trace) for s in SHARD_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    throughput = {}
+    logits = {}
+    rows = []
+    base = None
+    for num_shards in SHARD_COUNTS:
+        report, wall = results[num_shards]
+        assert len(report.completed) == n, (
+            f"{num_shards} shards completed {len(report.completed)}/{n}"
+        )
+        assert report.metrics.decode_errors == 0
+        assert report.metrics.integrity_failures == 0
+        assert report.metrics.shed == 0
+        throughput[num_shards] = report.metrics.throughput
+        logits[num_shards] = {o.request_id: o.logits for o in report.completed}
+        base = base or throughput[num_shards]
+        rows.append(
+            [
+                f"{num_shards} shard(s)",
+                report.metrics.batches,
+                f"{report.metrics.batch_fill_ratio:.2f}",
+                f"{throughput[num_shards]:.0f}",
+                f"{report.metrics.latency_percentile(99) * 1e3:.2f}",
+                f"{throughput[num_shards] / base:.2f}x",
+                f"{n / wall:.0f}",
+            ]
+        )
+
+    # All shard counts must agree to the last bit on every response.
+    for num_shards in SHARD_COUNTS[1:]:
+        for rid, reference in logits[SHARD_COUNTS[0]].items():
+            assert np.array_equal(reference, logits[num_shards][rid]), (
+                f"request {rid} differs between 1 and {num_shards} shards"
+            )
+
+    speedup = throughput[4] / throughput[1]
+    show(
+        capsys,
+        render_table(
+            [
+                "deployment",
+                "batches",
+                "fill",
+                "sim req/s",
+                "p99 ms",
+                "speedup",
+                "wall req/s",
+            ],
+            rows,
+            title=(
+                "Multi-enclave sharding scale-up — enclave-bound trace,"
+                f" {n} requests, {N_TENANTS} tenants"
+                f" (4-shard speedup {speedup:.2f}x simulated,"
+                " logits bit-identical)"
+            ),
+        ),
+    )
+
+    assert throughput[2] > throughput[1]
+    assert throughput[4] > throughput[2]
+    assert speedup >= 2.5, f"4-shard speedup only {speedup:.2f}x"
+
+
+def test_failover_preserves_throughput_and_results(benchmark, capsys, quick):
+    """Killing one of three shards mid-run loses no responses and keeps
+    throughput above the single-shard baseline."""
+    n = 60 if quick else 180
+    trace = synthetic_trace(
+        n, INPUT_SHAPE, n_tenants=N_TENANTS,
+        mean_interarrival=MEAN_INTERARRIVAL, seed=9,
+    )
+
+    def run_pair():
+        single, _ = _run(1, trace)
+        config = ServingConfig(
+            darknight=DarKnightConfig(virtual_batch_size=K, seed=0, num_shards=3),
+            max_batch_wait=MAX_BATCH_WAIT,
+            queue_capacity=2 * n,
+        )
+        network, _ = build_serving_model("tiny", seed=0)
+        server = PrivateInferenceServer(network, config)
+        server.shards[1].fail_after(2)
+        return single, server.serve_trace(trace)
+
+    single, degraded = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert len(degraded.completed) == n
+    assert degraded.failovers == 1
+    assert degraded.migrations >= 1
+    single_logits = {o.request_id: o.logits for o in single.completed}
+    for outcome in degraded.completed:
+        assert np.array_equal(outcome.logits, single_logits[outcome.request_id])
+    ratio = degraded.metrics.throughput / single.metrics.throughput
+    show(
+        capsys,
+        "Shard failover under load — 3 shards, one killed mid-window: "
+        f"{n}/{n} responses, {degraded.migrations} sessions re-attested, "
+        f"{ratio:.2f}x the single-shard throughput on the surviving shards",
+    )
+    assert ratio >= 1.0, f"degraded deployment slower than one shard ({ratio:.2f}x)"

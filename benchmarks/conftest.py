@@ -5,9 +5,30 @@ section and prints it (visible even under pytest) so the run doubles as the
 EXPERIMENTS.md evidence.  Timing uses pytest-benchmark; heavyweight
 functional experiments (Fig. 4's real masked training) run a single round
 via ``benchmark.pedantic``.
+
+Passing ``--quick`` shrinks the serving/pipeline/sharding benchmarks to a
+smoke-sized workload (small model, few requests) so CI's benchmark-smoke
+job finishes in a couple of minutes; every acceptance assertion still runs.
 """
 
 from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks in fast smoke mode (small model, few requests)",
+    )
+
+
+@pytest.fixture()
+def quick(request) -> bool:
+    """True when the run should use the smoke-sized workload."""
+    return bool(request.config.getoption("--quick"))
 
 
 def show(capsys, text: str) -> None:

@@ -113,7 +113,7 @@ def main() -> None:
     print(
         f"served {metrics.completed} inference requests to"
         f" {len(serving_report.tenants)} tenants in {metrics.batches}"
-        f" integrity-verified virtual batches"
+        " integrity-verified virtual batches"
         f" ({serving_report.handshakes} handshakes,"
         f" fill {metrics.batch_fill_ratio:.2f},"
         f" p99 {metrics.latency_percentile(99) * 1e3:.1f} ms)"

@@ -122,7 +122,7 @@ def main() -> None:
     headline = headline_speedups()
     print(
         f"headline: avg training speedup {headline['training_speedup_avg']:.1f}x"
-        f" (paper 6.5x), avg inference speedup"
+        " (paper 6.5x), avg inference speedup"
         f" {headline['inference_speedup_avg']:.1f}x (paper 12.5x)"
     )
 

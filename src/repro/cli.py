@@ -135,6 +135,17 @@ def _serve_parser() -> argparse.ArgumentParser:
              " (1 = synchronous; >= 2 overlaps enclave encode with GPU compute)",
     )
     parser.add_argument(
+        "--num-shards", type=int, default=1,
+        help="enclave shards tenants are partitioned across (each shard is"
+             " its own enclave + GPU cluster on a parallel timeline)",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=None,
+        help="total simulated-GPU budget across all shards (default: exactly"
+             " what the configuration needs); serving refuses to start when"
+             " the shards would not fit",
+    )
+    parser.add_argument(
         "--queue-capacity", type=int, default=256, help="bounded queue size"
     )
     parser.add_argument(
@@ -172,14 +183,28 @@ def _serve(args) -> int:
         raise ConfigurationError(
             f"--pipeline-depth must be >= 1, got {args.pipeline_depth}"
         )
+    if args.num_shards < 1:
+        raise ConfigurationError(
+            f"--num-shards must be >= 1, got {args.num_shards}"
+        )
+    dk = DarKnightConfig(
+        virtual_batch_size=args.virtual_batch,
+        integrity=args.integrity,
+        pipeline_depth=args.pipeline_depth,
+        num_shards=args.num_shards,
+        seed=args.seed,
+    )
+    gpus_needed = args.num_shards * dk.n_gpus_required
+    if args.gpus is not None and args.gpus < gpus_needed:
+        raise ConfigurationError(
+            f"--gpus {args.gpus} cannot host {args.num_shards} shard(s): each"
+            f" shard needs K + M{' + 1 (integrity)' if args.integrity else ''}"
+            f" = {dk.n_gpus_required} simulated GPUs, {gpus_needed} total;"
+            " raise --gpus or lower --num-shards / --virtual-batch"
+        )
     network, input_shape = build_serving_model(args.model, seed=args.seed)
     config = ServingConfig(
-        darknight=DarKnightConfig(
-            virtual_batch_size=args.virtual_batch,
-            integrity=args.integrity,
-            pipeline_depth=args.pipeline_depth,
-            seed=args.seed,
-        ),
+        darknight=dk,
         max_batch_wait=args.batch_wait,
         queue_capacity=args.queue_capacity,
         n_workers=args.workers,
@@ -198,7 +223,8 @@ def _serve(args) -> int:
     print(
         f"served {args.requests} requests from {args.tenants} tenants"
         f" ({mode}, integrity={'on' if args.integrity else 'off'},"
-        f" pipeline depth {args.pipeline_depth})"
+        f" pipeline depth {args.pipeline_depth},"
+        f" {args.num_shards} shard(s))"
     )
     print(report.render())
     return 0

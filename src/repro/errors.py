@@ -66,3 +66,37 @@ class ServingError(ReproError):
 
 class BackpressureError(ServingError):
     """The server's bounded request queue is full; the request was shed."""
+
+
+class ShardError(ServingError):
+    """Failure inside the multi-enclave sharding subsystem."""
+
+
+class ShardFailedError(ShardError):
+    """An enclave shard died (or was killed) while work was assigned to it.
+
+    Carries enough context for the dispatcher to account the batches the
+    shard completed before dying and to fail the rest over to a survivor:
+
+    Attributes
+    ----------
+    shard_id:
+        The shard that failed.
+    completed:
+        ``(groups, stats)`` pairs for the window batches that finished
+        before the failure, in window order.
+    remaining_from:
+        Index into the window of the first batch that did *not* complete.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int = -1,
+        completed: list | None = None,
+        remaining_from: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.completed = completed or []
+        self.remaining_from = remaining_from

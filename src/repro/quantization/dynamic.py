@@ -24,21 +24,31 @@ from repro.errors import QuantizationError
 
 @dataclass(frozen=True)
 class Normalization:
-    """The scale factor applied to one tensor (1.0 means untouched)."""
+    """The scale applied to one tensor (1.0 means untouched).
 
-    factor: float
+    ``factor`` is a scalar for whole-tensor normalisation, or a broadcast
+    array of shape ``(n, 1, ...)`` for per-sample normalisation (one factor
+    per leading row; see :meth:`DynamicNormalizer.normalize_rows`).
+    """
+
+    factor: float | np.ndarray
+
+    @property
+    def is_identity(self) -> bool:
+        """True when applying this normalisation is a no-op."""
+        return np.isscalar(self.factor) and self.factor == 1.0
 
     def apply(self, values: np.ndarray) -> np.ndarray:
         """Scale values down by the stored factor."""
-        if self.factor == 1.0:
+        if self.is_identity:
             return np.asarray(values, dtype=np.float64)
         return np.asarray(values, dtype=np.float64) / self.factor
 
     def unapply_product(self, values: np.ndarray, other: "Normalization") -> np.ndarray:
         """Restore a bilinear product of two normalised operands."""
-        scale = self.factor * other.factor
-        if scale == 1.0:
+        if self.is_identity and other.is_identity:
             return np.asarray(values, dtype=np.float64)
+        scale = self.factor * other.factor
         return np.asarray(values, dtype=np.float64) * scale
 
 
@@ -73,3 +83,29 @@ class DynamicNormalizer:
             return arr, IDENTITY
         norm = Normalization(max_abs / self.ceiling)
         return norm.apply(arr), norm
+
+    def normalize_rows(self, values: np.ndarray) -> tuple[np.ndarray, Normalization]:
+        """Per-sample variant: one independent factor per leading row.
+
+        Each row (sample slot) is scaled by *its own* max-abs, so a sample's
+        quantization — and therefore its decoded result — never depends on
+        what else happens to share its virtual batch.  That makes served
+        logits invariant to batch composition (the property multi-shard
+        routing relies on for bit-identical outputs) and closes the
+        cross-tenant side channel where one tenant's data range perturbs a
+        co-batched tenant's low-order logit bits.  Inference-only: the
+        backward pass needs a scalar batch factor to unscale aggregated
+        gradients.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim < 2 or arr.size == 0:
+            # A sample with no feature axes has no meaningful per-row
+            # factor shape; fall back to the scalar whole-tensor rule.
+            return self.normalize(arr)
+        axes = tuple(range(1, arr.ndim))
+        max_abs = np.max(np.abs(arr), axis=axes, keepdims=True)
+        factors = np.where(max_abs > self.ceiling, max_abs / self.ceiling, 1.0)
+        if np.all(factors == 1.0):
+            return arr, IDENTITY
+        norm = Normalization(factors)
+        return arr / factors, norm

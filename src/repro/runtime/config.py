@@ -53,6 +53,19 @@ class DarKnightConfig:
         per batch); ``>= 2`` lets the enclave encode batch ``n+1`` while
         GPUs compute batch ``n`` (the paper's Fig. 7 overlap).  Outputs
         are bit-identical at every depth.
+    num_shards:
+        Enclave shards the serving layer partitions tenants across.  Each
+        shard owns its own enclave + GPU cluster + serialized timeline, so
+        shards progress in parallel on the simulated clock; ``1`` keeps
+        the single-enclave deployment.  Requires
+        ``num_shards * n_gpus_required`` simulated GPUs in total.
+    per_sample_normalization:
+        Dynamic-normalize each virtual-batch slot by its *own* max-abs
+        instead of the whole batch's, making a sample's decoded logits
+        independent of whatever it was co-batched with.  Inference-only
+        (the backward pass needs a scalar batch factor); the serving layer
+        enables it so routing/coalescing choices — including shard counts —
+        can never change a response bit.
     seed:
         Seed for all enclave randomness.
     """
@@ -68,6 +81,8 @@ class DarKnightConfig:
     fresh_coefficients: bool = True
     validate_decode: bool = False
     pipeline_depth: int = 1
+    num_shards: int = 1
+    per_sample_normalization: bool = False
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -86,6 +101,10 @@ class DarKnightConfig:
         if self.pipeline_depth < 1:
             raise ConfigurationError(
                 f"pipeline depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num shards must be >= 1, got {self.num_shards}"
             )
 
     @property

@@ -120,6 +120,20 @@ class DarKnightBackend:
             return np.asarray(values, dtype=np.float64), IDENTITY
         return self._normalizer.normalize(values)
 
+    def _normalize_inputs(self, values: np.ndarray) -> tuple[np.ndarray, Normalization]:
+        """Normalise one virtual batch of layer inputs before quantization.
+
+        In ``per_sample_normalization`` mode every sample slot gets its own
+        factor, so a slot's decoded output is invariant to what else shares
+        the batch — the property shard routing relies on for bit-identical
+        logits at every shard count.
+        """
+        if self._normalizer is None:
+            return np.asarray(values, dtype=np.float64), IDENTITY
+        if self.config.per_sample_normalization:
+            return self._normalizer.normalize_rows(values)
+        return self._normalizer.normalize(values)
+
     def _fresh_coefficients(self) -> CoefficientSet:
         # Coefficient shapes depend only on the (frozen) config's
         # (K, M, extra, mds) — the batch's feature shape never enters
@@ -217,7 +231,7 @@ class DarKnightBackend:
         :meth:`end_batch`, even if the pipeline aborts before this ticket
         is ever dispatched or decoded.
         """
-        data, x_norm = self._normalize(vb.data)
+        data, x_norm = self._normalize_inputs(vb.data)
         x_q = self.quantizer.quantize(data)
         self.enclave.record_compute("quantize_inputs", int(x_q.nbytes))
         coeffs = self._fresh_coefficients()
@@ -323,6 +337,12 @@ class DarKnightBackend:
         ``gpu_op(device, share_key, combined_delta) -> field tensor``
         computes one ``Eq_j``.
         """
+        if self.config.per_sample_normalization:
+            raise ConfigurationError(
+                "per-sample normalization is inference-only: the backward"
+                " decode recovers a batch-aggregated gradient, which only a"
+                " scalar batch factor can unscale"
+            )
         records = self._forward_store.get(key)
         if not records:
             raise DecodingError(

@@ -3,8 +3,11 @@
 The paper amortizes enclave encode/decode over a virtual batch; this
 package applies the same argument to *traffic*: independent single-sample
 requests from many tenants are coalesced into full virtual batches under
-a max-latency deadline, served by a worker pool over one shared
-enclave + GPU cluster, behind per-tenant attested sessions.
+a max-latency deadline, served over one or more enclave + GPU shards
+(:mod:`repro.sharding`) behind per-tenant attested, shard-scoped
+sessions.  Multiple shards progress on parallel enclave timelines behind
+one scheduler; a cross-enclave attestation mesh lets sessions fail over
+when a shard dies.
 """
 
 from repro.serving.metrics import ServerMetrics
@@ -13,14 +16,19 @@ from repro.serving.requests import (
     STATUS_DECODE_FAILED,
     STATUS_INTEGRITY_FAILED,
     STATUS_OK,
+    STATUS_SHARD_FAILED,
     STATUS_SHED,
     PendingRequest,
     RequestOutcome,
     ScheduledBatch,
 )
-from repro.serving.scheduler import VirtualBatchScheduler
+from repro.serving.scheduler import ShardedBatchScheduler, VirtualBatchScheduler
 from repro.serving.server import PrivateInferenceServer, ServingConfig, ServingReport
-from repro.serving.session import ServingSession, SessionManager
+from repro.serving.session import (
+    ServingSession,
+    SessionManager,
+    ShardedSessionManager,
+)
 from repro.serving.trace import TraceRequest, synthetic_trace, trace_from_arrays
 from repro.serving.worker import InferenceWorkerPool
 
@@ -32,10 +40,13 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_INTEGRITY_FAILED",
     "STATUS_DECODE_FAILED",
+    "STATUS_SHARD_FAILED",
     "RequestQueue",
     "VirtualBatchScheduler",
+    "ShardedBatchScheduler",
     "ServingSession",
     "SessionManager",
+    "ShardedSessionManager",
     "InferenceWorkerPool",
     "ServerMetrics",
     "PrivateInferenceServer",

@@ -13,6 +13,7 @@ from repro.reporting import render_table
 from repro.serving.requests import (
     STATUS_DECODE_FAILED,
     STATUS_INTEGRITY_FAILED,
+    STATUS_SHARD_FAILED,
     RequestOutcome,
     ScheduledBatch,
 )
@@ -31,6 +32,7 @@ class ServerMetrics:
         self.shed = 0
         self.integrity_failures = 0
         self.decode_errors = 0
+        self.shard_failures = 0
         self.batches = 0
         self._first_arrival: float | None = None
         self._last_completion: float | None = None
@@ -55,6 +57,9 @@ class ServerMetrics:
             return
         if outcome.status == STATUS_DECODE_FAILED:
             self.decode_errors += 1
+            return
+        if outcome.status == STATUS_SHARD_FAILED:
+            self.shard_failures += 1
             return
         if not outcome.ok:
             return
@@ -124,6 +129,7 @@ class ServerMetrics:
             "shed": self.shed,
             "integrity_failures": self.integrity_failures,
             "decode_errors": self.decode_errors,
+            "shard_failures": self.shard_failures,
             "batches": self.batches,
             "batch_fill_ratio": self.batch_fill_ratio,
             "throughput_rps": self.throughput,
@@ -140,6 +146,7 @@ class ServerMetrics:
             ["shed (backpressure)", snap["shed"]],
             ["integrity failures", snap["integrity_failures"]],
             ["decode errors", snap["decode_errors"]],
+            ["shard failures", snap["shard_failures"]],
             ["virtual batches", snap["batches"]],
             ["batch fill ratio", f"{snap['batch_fill_ratio']:.2f}"],
             ["throughput (req/s)", f"{snap['throughput_rps']:.1f}"],

@@ -18,6 +18,7 @@ STATUS_OK = "ok"
 STATUS_SHED = "shed"
 STATUS_INTEGRITY_FAILED = "integrity_failed"
 STATUS_DECODE_FAILED = "decode_failed"
+STATUS_SHARD_FAILED = "shard_failed"
 
 
 @dataclass
@@ -92,6 +93,12 @@ class ScheduledBatch:
     slots:
         The virtual-batch size ``K`` the batch occupies on the enclave/GPUs
         regardless of fill (padding slots still cost encode/decode work).
+    shard_id:
+        The enclave shard the batch is bound for (every request in the
+        batch is from a tenant pinned to that shard); re-written by the
+        worker pool when the batch fails over to a survivor.
+    retries:
+        Times the batch was re-dispatched after a shard failure.
     """
 
     batch_id: int
@@ -99,6 +106,8 @@ class ScheduledBatch:
     flush_time: float = 0.0
     trigger: str = "size"
     slots: int = 1
+    shard_id: int = 0
+    retries: int = 0
 
     @property
     def n_requests(self) -> int:

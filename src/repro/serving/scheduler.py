@@ -18,6 +18,7 @@ of serializing through a per-batch service model.
 
 from __future__ import annotations
 
+import itertools
 import math
 
 from repro.errors import ConfigurationError
@@ -42,6 +43,11 @@ class VirtualBatchScheduler:
         Defaults to ``batch_size``; per-request dispatch sets
         ``batch_size=1`` with ``slots=K`` because the enclave still pads
         each lone sample to a full ``K``-slot encoding.
+    shard_id:
+        The enclave shard this scheduler's flushes are bound for.
+    id_source:
+        Shared batch-id counter; a sharded deployment passes one counter
+        to every per-shard scheduler so batch ids stay globally unique.
     """
 
     def __init__(
@@ -50,6 +56,8 @@ class VirtualBatchScheduler:
         batch_size: int,
         max_wait: float = 0.01,
         slots: int | None = None,
+        shard_id: int = 0,
+        id_source: "itertools.count | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
@@ -59,17 +67,20 @@ class VirtualBatchScheduler:
         self.batch_size = batch_size
         self.max_wait = max_wait
         self.slots = max(batch_size, slots or batch_size)
-        self._next_batch_id = 0
+        self.shard_id = shard_id
+        self._ids = id_source if id_source is not None else itertools.count()
+        self.batches_scheduled = 0
 
     def _make(self, requests, flush_time: float, trigger: str) -> ScheduledBatch:
         batch = ScheduledBatch(
-            batch_id=self._next_batch_id,
+            batch_id=next(self._ids),
             requests=requests,
             flush_time=flush_time,
             trigger=trigger,
             slots=self.slots,
+            shard_id=self.shard_id,
         )
-        self._next_batch_id += 1
+        self.batches_scheduled += 1
         return batch
 
     # ------------------------------------------------------------------
@@ -113,7 +124,67 @@ class VirtualBatchScheduler:
             )
         return batches
 
+
+class ShardedBatchScheduler:
+    """One coalescing scheduler per enclave shard, behind one interface.
+
+    Tenants are pinned to shards, so coalescing is *per shard*: a batch
+    only ever mixes requests destined for the same enclave.  Each shard
+    keeps its own size/deadline triggers (a hot shard flushing early never
+    forces a cold shard's partial out), while batch ids are drawn from one
+    shared counter so outcomes stay globally attributable.  With one shard
+    this degenerates exactly to a single :class:`VirtualBatchScheduler`.
+
+    Parameters
+    ----------
+    queues:
+        One bounded :class:`~repro.serving.queue.RequestQueue` per shard.
+    batch_size / max_wait / slots:
+        As for :class:`VirtualBatchScheduler`, applied uniformly.
+    """
+
+    def __init__(
+        self,
+        queues: list[RequestQueue],
+        batch_size: int,
+        max_wait: float = 0.01,
+        slots: int | None = None,
+    ) -> None:
+        if not queues:
+            raise ConfigurationError("sharded scheduler needs >= 1 queue")
+        ids = itertools.count()
+        self.shards = [
+            VirtualBatchScheduler(
+                queue, batch_size, max_wait, slots=slots, shard_id=i, id_source=ids
+            )
+            for i, queue in enumerate(queues)
+        ]
+
+    def collect_ready(self, now: float) -> list[ScheduledBatch]:
+        """Flush every full batch available on any shard (size trigger)."""
+        return [b for shard in self.shards for b in shard.collect_ready(now)]
+
+    def collect_expired(self, now: float) -> list[ScheduledBatch]:
+        """Flush deadline-expired partials on every shard, deadline order.
+
+        Batches are merged across shards by flush time so the dispatch
+        window sees one globally time-ordered stream, exactly as a single
+        deadline timer would have fired them.
+        """
+        batches = [b for shard in self.shards for b in shard.collect_expired(now)]
+        batches.sort(key=lambda b: (b.flush_time, b.batch_id))
+        return batches
+
+    def drain(self, now: float) -> list[ScheduledBatch]:
+        """Flush everything on every shard immediately (shutdown)."""
+        return [b for shard in self.shards for b in shard.drain(now)]
+
     @property
     def batches_scheduled(self) -> int:
-        """Total batches flushed so far."""
-        return self._next_batch_id
+        """Total batches flushed across all shards."""
+        return sum(shard.batches_scheduled for shard in self.shards)
+
+    @property
+    def queued(self) -> int:
+        """Pending requests across all shard queues."""
+        return sum(shard.queue.depth for shard in self.shards)

@@ -2,13 +2,21 @@
 
 Composes the serving subsystem end to end::
 
-    trace -> SessionManager (attest once / tenant, decrypt)
-          -> RequestQueue (bounded, shed-load)
-          -> VirtualBatchScheduler (coalesce, size-or-deadline flush)
-          -> InferenceWorkerPool (shared staged pipeline: encode -> GPU
-             dispatch -> decode, integrity-verified, batches overlapping
-             on one persistent enclave/GPU timeline)
+    trace -> ShardRouter (pin tenant -> enclave shard)
+          -> ShardedSessionManager (attest once / tenant on its shard)
+          -> per-shard RequestQueue (bounded, shed-load globally)
+          -> ShardedBatchScheduler (coalesce per shard, size-or-deadline)
+          -> InferenceWorkerPool (per-shard staged pipelines on parallel
+             enclave timelines; mesh-verified session failover when a
+             shard dies)
           -> ServerMetrics / ServingReport
+
+The deployment runs ``darknight.num_shards`` :class:`EnclaveShard` s —
+each its own enclave + GPU cluster + serialized timeline — behind one
+scheduler; an :class:`AttestationMesh` pairwise-verifies every shard at
+startup so sessions can migrate on failure.  Serving always uses
+per-sample normalization, so a request's logits are bit-identical at
+every shard count, pipeline depth, and coalescing mix.
 
 There is no network dependency: :meth:`PrivateInferenceServer.serve_trace`
 replays a time-stamped request trace against a simulated clock, firing
@@ -26,21 +34,25 @@ import numpy as np
 
 from repro.comm import LinkModel
 from repro.enclave import Enclave
-from repro.errors import BackpressureError
+from repro.errors import BackpressureError, ConfigurationError, ShardError
 from repro.gpu import GpuCluster
 from repro.nn import Sequential
 from repro.pipeline.timing import StageCostModel
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 from repro.runtime.config import DarKnightConfig
-from repro.runtime.darknight import DarKnightBackend
-from repro.runtime.inference import PrivateInferenceEngine
 from repro.serving.metrics import ServerMetrics
 from repro.serving.queue import RequestQueue
-from repro.serving.requests import STATUS_SHED, PendingRequest, RequestOutcome
-from repro.serving.scheduler import VirtualBatchScheduler
-from repro.serving.session import SessionManager
+from repro.serving.requests import (
+    STATUS_SHARD_FAILED,
+    STATUS_SHED,
+    PendingRequest,
+    RequestOutcome,
+)
+from repro.serving.scheduler import ShardedBatchScheduler
+from repro.serving.session import ShardedSessionManager
 from repro.serving.trace import TraceRequest
 from repro.serving.worker import InferenceWorkerPool
+from repro.sharding import AttestationMesh, EnclaveShard, ShardRouter
 
 #: Sentinel meaning "run until every queued request has drained".
 _DRAIN = float("inf")
@@ -54,18 +66,19 @@ class ServingConfig:
     ----------
     darknight:
         The masking/session parameters shared by all tenants (the
-        virtual-batch size ``K`` doubles as the coalescing target).
+        virtual-batch size ``K`` doubles as the coalescing target, and
+        ``num_shards`` sets how many enclave shards the deployment runs).
     max_batch_wait:
         Deadline (simulated seconds) before a partial batch is forced out.
     queue_capacity:
         Bound on *admitted-but-incomplete* requests — queued plus in
-        flight behind busy workers; beyond it the server sheds load, so
-        sustained overload surfaces as shed requests instead of
-        unbounded latency.
+        flight behind busy workers, summed over every shard; beyond it
+        the server sheds load, so sustained overload surfaces as shed
+        requests instead of unbounded latency.
     n_workers:
-        Accepted for compatibility; concurrency now comes from the staged
-        pipeline (``darknight.pipeline_depth``), not from duplicate
-        worker lanes.
+        Accepted for compatibility; concurrency comes from the staged
+        pipeline (``darknight.pipeline_depth``) and from parallel shard
+        timelines (``darknight.num_shards``).
     coalesce:
         ``False`` dispatches every request alone (the naive baseline the
         serving benchmark measures against); the enclave still pads each
@@ -78,10 +91,9 @@ class ServingConfig:
         Run every sample and response through the tenant's AEAD channel.
     stage_costs:
         Simulated-time pricing for the pipeline stages.  Batch service
-        times come from the staged executor's real per-stage timings
-        (bytes masked, MACs run) on a persistent enclave/GPU timeline —
-        ``darknight.pipeline_depth`` controls how many virtual batches
-        overlap on it.
+        times come from each shard's staged executor's real per-stage
+        timings (bytes masked, MACs run) on that shard's persistent
+        enclave/GPU timeline.
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -104,6 +116,9 @@ class ServingReport:
     handshakes: int
     tenants: list[str]
     link_bytes: int
+    shards: int = 1
+    failovers: int = 0
+    migrations: int = 0
 
     @property
     def completed(self) -> list[RequestOutcome]:
@@ -111,31 +126,39 @@ class ServingReport:
         return [o for o in self.outcomes if o.ok]
 
     def render(self) -> str:
-        """The metrics table plus session-layer facts."""
+        """The metrics table plus session- and shard-layer facts."""
         lines = [self.metrics.render()]
         lines.append(
             f"sessions: {len(self.tenants)} tenants,"
             f" {self.handshakes} attestation handshakes,"
             f" {self.link_bytes:,} link bytes"
         )
+        lines.append(
+            f"shards: {self.shards} enclave shard(s),"
+            f" {self.failovers} failovers,"
+            f" {self.migrations} session migrations"
+        )
         return "\n".join(lines)
 
 
 class PrivateInferenceServer:
-    """Serves masked inference to many tenants over one trusted stack.
+    """Serves masked inference to many tenants over sharded trusted stacks.
 
     Parameters
     ----------
     network:
         The trained model all tenants query.
     config:
-        Serving parameters; :attr:`ServingConfig.darknight` sizes the
-        enclave/GPU side.
+        Serving parameters; :attr:`ServingConfig.darknight` sizes each
+        enclave/GPU shard and sets the shard count.
     cluster:
         Optionally inject a cluster (e.g. with fault injectors) — the
-        integrity tests serve through a byzantine GPU this way.
+        integrity tests serve through a byzantine GPU this way.  Only
+        valid with ``num_shards=1`` (a multi-shard deployment provisions
+        one cluster per shard).
     enclave:
-        Optionally inject a pre-provisioned enclave.
+        Optionally inject a pre-provisioned enclave (``num_shards=1``
+        only, for the same reason).
     """
 
     def __init__(
@@ -149,31 +172,63 @@ class PrivateInferenceServer:
         dk = self.config.darknight
         if self.config.reuse_coefficients and dk.fresh_coefficients:
             dk = dataclasses.replace(dk, fresh_coefficients=False)
-        self.enclave = enclave or Enclave(
-            code_identity=self.config.code_identity, seed=dk.seed
-        )
+        if not dk.per_sample_normalization and dk.dynamic_normalization:
+            # Served logits must not depend on batch composition (and so
+            # not on coalescing, pipelining, or shard routing choices).
+            dk = dataclasses.replace(dk, per_sample_normalization=True)
+        if dk.num_shards > 1 and (cluster is not None or enclave is not None):
+            raise ConfigurationError(
+                "injected clusters/enclaves only compose with num_shards=1;"
+                f" got num_shards={dk.num_shards} — provision per-shard"
+                " hardware through DarKnightConfig instead"
+            )
         self.link = LinkModel()
-        backend = DarKnightBackend(
-            dk, enclave=self.enclave, cluster=cluster, link=self.link
-        )
-        self.engine = PrivateInferenceEngine(
-            network, backend=backend, stage_costs=self.config.stage_costs
-        )
-        self.sessions = SessionManager(
-            self.enclave,
+        self.shards = [
+            EnclaveShard.provision(
+                shard_id,
+                network,
+                dk,
+                code_identity=self.config.code_identity,
+                stage_costs=self.config.stage_costs,
+                cluster=cluster if shard_id == 0 else None,
+                enclave=enclave if shard_id == 0 else None,
+                link=self.link,
+            )
+            for shard_id in range(dk.num_shards)
+        ]
+        # Single-shard compatibility handles (shard 0 is the whole stack
+        # when num_shards=1).
+        self.enclave = self.shards[0].enclave
+        self.engine = self.shards[0].engine
+        self.mesh = AttestationMesh(
+            self.shards, expected_code_identity=self.config.code_identity
+        ).establish()
+        self.router = ShardRouter(dk.num_shards)
+        self.sessions = ShardedSessionManager(
+            self.shards,
+            router=self.router,
+            mesh=self.mesh,
             link=self.link,
             expected_code_identity=self.config.code_identity,
-            rng=np.random.default_rng(dk.seed),
+            seed=dk.seed,
         )
-        self.queue = RequestQueue(self.config.queue_capacity)
+        self.queues = [
+            RequestQueue(self.config.queue_capacity) for _ in self.shards
+        ]
+        self.queue = self.queues[0]
         batch_size = dk.virtual_batch_size if self.config.coalesce else 1
-        self.scheduler = VirtualBatchScheduler(
-            self.queue,
+        self.scheduler = ShardedBatchScheduler(
+            self.queues,
             batch_size,
             self.config.max_batch_wait,
             slots=dk.virtual_batch_size,
         )
-        self.pool = InferenceWorkerPool(self.engine, n_workers=self.config.n_workers)
+        self.pool = InferenceWorkerPool(
+            n_workers=self.config.n_workers,
+            shards=self.shards,
+            router=self.router,
+            sessions=self.sessions,
+        )
         self.metrics = ServerMetrics()
         self._outcomes: list[RequestOutcome] = []
         self._next_request_id = 0
@@ -188,7 +243,7 @@ class PrivateInferenceServer:
 
         Arrivals are processed in time order; between consecutive
         arrivals any pending deadline flush fires at its exact deadline.
-        After the last arrival the queue drains deadline-by-deadline, so
+        After the last arrival the queues drain deadline-by-deadline, so
         every admitted request completes.
         """
         events = sorted(trace, key=lambda r: r.time)
@@ -208,7 +263,26 @@ class PrivateInferenceServer:
         return len(self._inflight)
 
     def _admit(self, event: TraceRequest, now: float) -> None:
-        """Attest/decrypt one arrival and queue it (or shed it)."""
+        """Route, attest/decrypt one arrival and queue it (or shed it).
+
+        A total outage (every shard failed) turns the arrival into a
+        ``shard_failed`` outcome instead of crashing the trace replay.
+        """
+        try:
+            shard_id = self.router.shard_for(event.tenant)
+        except ShardError as exc:
+            self._outcomes.append(
+                RequestOutcome(
+                    request_id=self._next_request_id,
+                    tenant=event.tenant,
+                    status=STATUS_SHARD_FAILED,
+                    arrival_time=now,
+                    error=str(exc),
+                )
+            )
+            self._next_request_id += 1
+            self.metrics.record_outcome(self._outcomes[-1])
+            return
         session = self.sessions.connect(event.tenant, now)
         x = np.asarray(event.x, dtype=np.float64)
         if self.config.encrypt_requests:
@@ -222,20 +296,21 @@ class PrivateInferenceServer:
         )
         self._next_request_id += 1
         try:
-            # Admitted-but-incomplete = queued + in flight behind busy
-            # workers; bounding their sum is what keeps worst-case latency
-            # finite when the offered load exceeds pipeline capacity.
+            # Admitted-but-incomplete = queued (all shards) + in flight
+            # behind busy workers; bounding their sum is what keeps
+            # worst-case latency finite when the offered load exceeds
+            # pipeline capacity.
             if (
-                self._inflight_at(now) + self.queue.depth
+                self._inflight_at(now) + self.scheduler.queued
                 >= self.config.queue_capacity
             ):
                 raise BackpressureError(
                     f"{len(self._inflight)} requests in flight and"
-                    f" {self.queue.depth} queued >= capacity"
+                    f" {self.scheduler.queued} queued >= capacity"
                     f" {self.config.queue_capacity}; shedding request"
                     f" {request.request_id} from {request.tenant!r}"
                 )
-            self.queue.push(request)
+            self.queues[shard_id].push(request)
         except BackpressureError as exc:
             self.metrics.record_shed(event.tenant, now)
             self._outcomes.append(
@@ -251,9 +326,10 @@ class PrivateInferenceServer:
     def _run_batches(self, batches) -> None:
         """Dispatch a window of flushed batches and account their outcomes.
 
-        The whole window goes to the pool in one call so its batches
-        overlap inside the staged pipeline (encode ``n+1`` while ``n``
-        computes) instead of serializing per dispatch.
+        The whole window goes to the pool in one call so each shard's
+        batches overlap inside that shard's staged pipeline (encode
+        ``n+1`` while ``n`` computes), with different shards progressing
+        on parallel timelines.
         """
         if not batches:
             return
@@ -280,4 +356,7 @@ class PrivateInferenceServer:
             handshakes=self.sessions.handshakes_performed,
             tenants=self.sessions.active_tenants,
             link_bytes=self.link.total_bytes,
+            shards=len(self.shards),
+            failovers=self.pool.failovers,
+            migrations=self.sessions.migrations,
         )

@@ -11,12 +11,13 @@ calls return the cached session with zero additional handshake traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.comm import Envelope, LinkModel, SecureChannel
 from repro.enclave import Enclave, measure_enclave
+from repro.errors import AttestationError
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 
 
@@ -35,6 +36,8 @@ class ServingSession:
     enclave: Enclave
     established_at: float = 0.0
     requests_served: int = 0
+    #: The enclave shard this session's channel terminates on.
+    shard_id: int = 0
 
     # -- tenant side ----------------------------------------------------
     def encrypt_request(self, x: np.ndarray) -> Envelope:
@@ -73,6 +76,8 @@ class SessionManager:
         raises :class:`~repro.errors.AttestationError` at first connect.
     rng:
         Randomness for key exchange and AEAD nonces.
+    shard_id:
+        The enclave shard this manager's sessions are scoped to.
     """
 
     def __init__(
@@ -81,6 +86,7 @@ class SessionManager:
         link: LinkModel | None = None,
         expected_code_identity: str | bytes = DEFAULT_CODE_IDENTITY,
         rng: np.random.Generator | None = None,
+        shard_id: int = 0,
     ) -> None:
         self.enclave = enclave
         self.link = link or LinkModel()
@@ -88,6 +94,7 @@ class SessionManager:
         self._rng = rng or np.random.default_rng()
         self._sessions: dict[str, ServingSession] = {}
         self.handshakes_performed = 0
+        self.shard_id = shard_id
 
     def connect(self, tenant: str, now: float = 0.0) -> ServingSession:
         """Return the tenant's session, handshaking only on first contact.
@@ -114,12 +121,132 @@ class SessionManager:
             enclave_channel=enclave_end,
             enclave=self.enclave,
             established_at=now,
+            shard_id=self.shard_id,
         )
         self._sessions[tenant] = session
         self.handshakes_performed += 1
         return session
 
+    def drop(self, tenant: str) -> None:
+        """Forget a tenant's session (e.g. after migration off this shard)."""
+        self._sessions.pop(tenant, None)
+
     @property
     def active_tenants(self) -> list[str]:
         """Tenants with an established session."""
         return list(self._sessions)
+
+
+class ShardedSessionManager:
+    """Shard-scoped attested sessions with mesh-verified failover.
+
+    Each shard keeps its own :class:`SessionManager` — a session is a
+    keyed channel into *one* enclave, so it cannot outlive its shard.
+    ``connect`` routes through the :class:`~repro.sharding.ShardRouter`'s
+    pinning; when a shard dies, :meth:`fail_over` re-attests every
+    displaced tenant on its new shard — but only after the attestation
+    mesh confirms the dead and surviving shards had mutually verified
+    each other at startup, so a session can never land on an enclave the
+    deployment did not vouch for.
+
+    Parameters
+    ----------
+    shards:
+        The deployment's :class:`~repro.sharding.EnclaveShard` s.
+    router:
+        Pins tenants to shards (and re-pins them on failure).
+    mesh:
+        Established :class:`~repro.sharding.AttestationMesh` gating
+        migrations.
+    link / expected_code_identity:
+        As for :class:`SessionManager`, shared across shards.
+    seed:
+        Base seed for per-shard handshake randomness (shard ``i`` draws
+        from ``seed + i``), keeping multi-shard runs deterministic.
+    """
+
+    def __init__(
+        self,
+        shards,
+        router,
+        mesh,
+        link: LinkModel | None = None,
+        expected_code_identity: str | bytes = DEFAULT_CODE_IDENTITY,
+        seed: int | None = None,
+    ) -> None:
+        self.router = router
+        self.mesh = mesh
+        self.link = link or LinkModel()
+        self._managers = [
+            SessionManager(
+                shard.enclave,
+                link=self.link,
+                expected_code_identity=expected_code_identity,
+                rng=np.random.default_rng(None if seed is None else seed + i),
+                shard_id=shard.shard_id,
+            )
+            for i, shard in enumerate(shards)
+        ]
+        self.migrations = 0
+
+    def connect(self, tenant: str, now: float = 0.0) -> ServingSession:
+        """The tenant's session on its pinned shard (handshake on first use)."""
+        return self._managers[self.router.shard_for(tenant)].connect(tenant, now)
+
+    def fail_over(self, failed_shard: int, now: float = 0.0) -> dict[str, int]:
+        """Migrate every session off a dead shard, re-attesting each tenant.
+
+        The router must already have marked the shard failed (so
+        ``shard_for`` yields the new pins).  Returns ``{tenant: new_shard}``
+        for the sessions that moved.
+
+        Raises
+        ------
+        AttestationError
+            When the mesh never verified the link between the dead shard
+            and a migration target.  The gate is atomic — checked for
+            every target before *any* session moves — and the dead
+            shard's sessions are dropped either way (they terminate on a
+            dead enclave), so a refusal leaves no tenant with a live
+            session anywhere: no response rides a shard the mesh did not
+            vouch for, and the tenant's next request performs a fresh
+            tenant-side attestation handshake on its new shard
+            (``migrations`` counts only mesh-gated moves, not those
+            from-scratch reconnects).
+        """
+        dead = self._managers[failed_shard]
+        targets = {
+            tenant: self.router.shard_for(tenant) for tenant in dead.active_tenants
+        }
+        try:
+            for target in sorted(set(targets.values())):
+                self.mesh.assert_verified(failed_shard, target)
+        except AttestationError:
+            for tenant in targets:
+                dead.drop(tenant)
+            raise
+        for tenant, target in targets.items():
+            dead.drop(tenant)
+            # A migrated session re-runs the full attestation + key
+            # exchange against the surviving enclave: trust is per shard,
+            # never copied across the mesh.
+            self._managers[target].connect(tenant, now)
+            self.migrations += 1
+        return targets
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def handshakes_performed(self) -> int:
+        """Attestation handshakes across all shards (incl. migrations)."""
+        return sum(m.handshakes_performed for m in self._managers)
+
+    @property
+    def active_tenants(self) -> list[str]:
+        """Tenants with an established session on any shard."""
+        return [t for m in self._managers for t in m.active_tenants]
+
+    def sessions_by_shard(self) -> dict[int, list[str]]:
+        """Tenants per shard (for observability and tests)."""
+        return {m.shard_id: m.active_tenants for m in self._managers}

@@ -1,135 +1,326 @@
-"""Worker pool: staged encode -> GPU dispatch -> decode over shared hardware.
+"""Worker pool: flush windows dispatched onto per-shard pipeline loops.
 
-All workers share one :class:`~repro.runtime.inference.PrivateInferenceEngine`
-(and therefore one enclave + GPU cluster): the enclave is the serialized
-resource in DarKnight, so parallelism comes from the *pipeline* — the
-engine's staged executor runs every batch on a persistent simulated
-timeline (one enclave clock, per-device GPU clocks), which means batch
-``n+1``'s encode overlaps batch ``n``'s GPU compute across dispatch calls,
-not just within one batch.  Simulated completion times come from the real
-per-stage timings the pipeline produced (bytes masked, MACs executed), not
-from an a-priori service-time model; the masked compute itself runs for
-real.
+Each :class:`~repro.sharding.EnclaveShard` owns a full enclave + GPU
+cluster + staged pipeline engine on its *own* serialized timeline, so the
+pool's job is routing, not compute: a flush window's batches are grouped
+by their shard and each group runs through that shard's
+:class:`~repro.pipeline.PipelineExecutor` loop.  Because the timelines
+are independent, shard ``A``'s enclave encodes while shard ``B``'s
+decodes — parallel enclave timelines behind one scheduler, which is what
+lets simulated throughput scale with the shard count on enclave-bound
+workloads.  Within one shard, the staged pipeline still overlaps batch
+``n+1``'s encode with batch ``n``'s GPU compute exactly as before.
+
+Failures stay contained at two granularities:
+
+* integrity/decode failures abort one shard's window and are retried
+  batch-by-batch on the *same* shard, so a byzantine GPU fails only its
+  own batch's requests;
+* a shard death (:class:`~repro.errors.ShardFailedError`) triggers
+  failover: the router unpins the dead shard's tenants, the session layer
+  re-attests them across the mesh, and the window's unfinished batches
+  retry per batch on the survivors — no response is dropped.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DecodingError, IntegrityError
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    DecodingError,
+    IntegrityError,
+    ShardError,
+    ShardFailedError,
+)
 from repro.runtime.inference import PrivateInferenceEngine
 from repro.serving.requests import (
     STATUS_DECODE_FAILED,
     STATUS_INTEGRITY_FAILED,
     STATUS_OK,
+    STATUS_SHARD_FAILED,
     RequestOutcome,
     ScheduledBatch,
 )
+from repro.sharding import EnclaveShard
 
 
 class InferenceWorkerPool:
-    """Dispatches scheduled batches onto the shared staged pipeline.
+    """Dispatches scheduled batches onto per-shard staged pipelines.
 
     Parameters
     ----------
     engine:
-        The shared private-inference engine; its backend pads partial
-        batches up to the virtual-batch size internally, and its executor
-        prices every stage on the persistent simulated timeline.
+        Single-shard convenience: the engine is wrapped in an implicit
+        shard 0 (the pre-sharding deployment shape).  Mutually exclusive
+        with ``shards``.
     n_workers:
-        Kept for interface compatibility (must be >= 1).  Overlap is now a
-        property of the staged pipeline itself — the enclave and each GPU
-        are the real serialized resources — so this no longer multiplies
-        capacity.
+        Kept for interface compatibility (must be >= 1); concurrency
+        comes from the per-shard pipelines, not worker lanes.
+    shards:
+        The deployment's :class:`~repro.sharding.EnclaveShard` s.
+    router:
+        Re-pins tenants when a shard fails (required for failover when
+        more than one shard is configured).
+    sessions:
+        The :class:`~repro.serving.session.ShardedSessionManager` whose
+        sessions must migrate on shard failure.
     """
 
     def __init__(
         self,
-        engine: PrivateInferenceEngine,
+        engine: PrivateInferenceEngine | None = None,
         n_workers: int = 1,
+        shards: list[EnclaveShard] | None = None,
+        router=None,
+        sessions=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
-        self.engine = engine
+        if shards is None:
+            if engine is None:
+                raise ConfigurationError("worker pool needs an engine or shards")
+            shards = [EnclaveShard(0, engine)]
+        elif engine is not None:
+            raise ConfigurationError("pass either an engine or shards, not both")
+        self.shards = {shard.shard_id: shard for shard in shards}
+        self.router = router
+        self.sessions = sessions
         self._n_workers = n_workers
         self.batches_run = 0
-        #: Enclave-occupied simulated seconds across all dispatched windows.
+        #: Enclave-occupied simulated seconds summed over all shards.
         self.busy_time = 0.0
+        self.failovers = 0
+        self._failed_shards: set[int] = set()
         self._stage_totals: dict[str, float] = {}
 
-    def dispatch(self, batch: ScheduledBatch) -> list[RequestOutcome]:
-        """Run one batch through the masked pipeline; never raises.
+    @property
+    def engine(self) -> PrivateInferenceEngine:
+        """Shard 0's engine (single-shard compatibility accessor)."""
+        return self.shards[min(self.shards)].engine
 
-        Integrity and decode failures are converted into per-request
-        failure outcomes so one byzantine GPU cannot crash the server.
-        """
+    def dispatch(self, batch: ScheduledBatch) -> list[RequestOutcome]:
+        """Run one batch through its shard's pipeline; never raises."""
         return self.dispatch_window([batch])
 
     def dispatch_window(self, batches: list[ScheduledBatch]) -> list[RequestOutcome]:
-        """Pipeline a window of flushed batches through one event loop.
+        """Dispatch a window of flushed batches to their shards' pipelines.
 
-        Every batch in the window shares the executor's in-flight window,
-        so the enclave encodes batch ``n+1`` while batch ``n``'s shares
-        are on the GPUs — cross-batch overlap, priced on the persistent
-        timeline.  A decode/integrity failure aborts the shared schedule,
-        so the window is re-dispatched batch by batch: failures isolate to
-        their own batch's requests (exactly the old per-batch semantics)
-        while healthy co-flushed batches still complete.
+        Batches grouped per shard share that shard's executor window (the
+        enclave encodes batch ``n+1`` while batch ``n``'s shares are on
+        the GPUs); different shards' groups run on independent timelines.
+        Outcomes are returned in batch order regardless of shard.
         """
         if not batches:
             return []
-        status, error = STATUS_OK, None
+        by_shard: dict[int, list[ScheduledBatch]] = {}
+        for batch in batches:
+            by_shard.setdefault(batch.shard_id, []).append(batch)
+        by_batch: dict[int, list[RequestOutcome]] = {b.batch_id: [] for b in batches}
+        for shard_id in sorted(by_shard):
+            for outcome in self._dispatch_on(shard_id, by_shard[shard_id]):
+                by_batch[outcome.batch_id].append(outcome)
+        return [o for batch in batches for o in by_batch[batch.batch_id]]
+
+    # ------------------------------------------------------------------
+    # per-shard dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_on(
+        self, shard_id: int, batches: list[ScheduledBatch]
+    ) -> list[RequestOutcome]:
+        shard = self.shards[shard_id]
         items = [
             (np.stack([req.x for req in batch.requests]), batch.flush_time)
             for batch in batches
         ]
         try:
-            groups, stats = self.engine.run_batch_window(items)
-            for stage, seconds in stats.stage_totals.items():
-                self._stage_totals[stage] = self._stage_totals.get(stage, 0.0) + seconds
-            self.busy_time += stats.enclave_busy
+            groups, stats = shard.run_window(items)
+        except ShardFailedError as exc:
+            return self._fail_over(shard, batches, exc)
         except (IntegrityError, DecodingError) as exc:
             if len(batches) > 1:
                 # One bad batch aborted the shared schedule; isolate it by
                 # running every batch in its own single-batch window.
                 return [
-                    o for batch in batches for o in self.dispatch_window([batch])
+                    o for batch in batches for o in self._dispatch_on(shard_id, [batch])
                 ]
             status = (
                 STATUS_INTEGRITY_FAILED
                 if isinstance(exc, IntegrityError)
                 else STATUS_DECODE_FAILED
             )
-            error = str(exc)
-        if error is not None:
             # The aborted run still occupied the enclave up to the
             # failure point; charge it up to the clock's frontier.
-            fallback = max(self.engine.timeline.free_at, batches[0].flush_time)
-            groups = [None] * len(batches)
+            fallback = max(shard.timeline.free_at, batches[0].flush_time)
+            self.batches_run += 1
+            return self._outcomes(batches[0], None, status, str(exc), fallback)
+        self._account(stats)
         self.batches_run += len(batches)
+        return [
+            o
+            for batch, group in zip(batches, groups)
+            for o in self._outcomes(batch, group, STATUS_OK, None, 0.0)
+        ]
 
-        outcomes = []
-        for batch, group in zip(batches, groups):
-            for i, req in enumerate(batch.requests):
-                row = group.output[i] if group is not None else None
-                outcomes.append(
-                    RequestOutcome(
-                        request_id=req.request_id,
-                        tenant=req.tenant,
-                        status=status,
-                        arrival_time=req.arrival_time,
-                        dispatch_time=(
-                            group.start if group is not None else batch.flush_time
-                        ),
-                        completion_time=(
-                            group.finish if group is not None else fallback
-                        ),
-                        batch_id=batch.batch_id,
-                        logits=row,
-                        prediction=int(np.argmax(row)) if row is not None else None,
-                        error=error,
+    def _fail_over(
+        self,
+        shard: EnclaveShard,
+        batches: list[ScheduledBatch],
+        exc: ShardFailedError,
+    ) -> list[RequestOutcome]:
+        """Account a dead shard's completed prefix, migrate, retry the rest.
+
+        Never raises: a total outage (no survivors) or a refused migration
+        (unverified mesh link) turns the unfinished batches into
+        ``STATUS_SHARD_FAILED`` outcomes instead of crashing the server.
+        On refusal the dead shard's sessions are dropped outright (see
+        :meth:`~repro.serving.session.ShardedSessionManager.fail_over`),
+        so displaced tenants hold no session anywhere until their next
+        arrival re-attests from scratch on the re-pinned shard.
+        """
+        outcomes: list[RequestOutcome] = []
+        for batch, (groups, stats) in zip(batches, exc.completed):
+            self._account(stats)
+            self.batches_run += 1
+            outcomes.extend(self._outcomes(batch, groups[0], STATUS_OK, None, 0.0))
+        remaining = batches[exc.remaining_from :]
+        now = remaining[0].flush_time if remaining else batches[-1].flush_time
+        outage: Exception | None = None
+        if shard.shard_id not in self._failed_shards:
+            # One enclave failure is one failover, even when the dead
+            # shard's leftover queued batches flush in later windows.
+            self._failed_shards.add(shard.shard_id)
+            self.failovers += 1
+            try:
+                if self.router is not None:
+                    self.router.fail_shard(shard.shard_id)
+                if self.sessions is not None:
+                    self.sessions.fail_over(shard.shard_id, now)
+            except (ShardError, AttestationError) as migration_exc:
+                outage = migration_exc
+        retries_by_target: dict[int, list[ScheduledBatch]] = {}
+        for batch in remaining:
+            fallback = max(shard.timeline.free_at, batch.flush_time)
+            if outage is not None:
+                outcomes.extend(
+                    self._outcomes(batch, None, STATUS_SHARD_FAILED, str(outage), fallback)
+                )
+                continue
+            if batch.retries >= len(self.shards):
+                # Cascade cap: a batch cannot meaningfully retry more
+                # times than there are shards to die under it.
+                outcomes.extend(
+                    self._outcomes(
+                        batch,
+                        None,
+                        STATUS_SHARD_FAILED,
+                        f"batch {batch.batch_id} exhausted {batch.retries}"
+                        " failover retries",
+                        fallback,
                     )
                 )
+                continue
+            try:
+                regrouped = self._reroute(batch, shard.shard_id, fallback)
+            except ShardError as routing_exc:
+                outcomes.extend(
+                    self._outcomes(
+                        batch, None, STATUS_SHARD_FAILED, str(routing_exc), fallback
+                    )
+                )
+                continue
+            for retry in regrouped:
+                retries_by_target.setdefault(retry.shard_id, []).append(retry)
+        # Retries share one window per surviving shard, so re-dispatched
+        # batches keep the staged pipeline's cross-batch overlap.
+        for target in sorted(retries_by_target):
+            outcomes.extend(self._dispatch_on(target, retries_by_target[target]))
+        return outcomes
+
+    def _reroute(
+        self, batch: ScheduledBatch, failed_shard: int, not_before: float
+    ) -> list[ScheduledBatch]:
+        """Split a failed batch by each tenant's *new* pin and re-target it.
+
+        A coalesced batch can mix tenants whose sessions migrated to
+        different survivors; every request must retry on the shard its
+        re-attested session now terminates on, so the batch splits into
+        one retry batch per target shard (all sharing the original batch
+        id — it is still the same scheduled batch, served in pieces).
+        ``not_before`` is the dead shard's failure frontier on the
+        simulated clock: the retry cannot be released before the failure
+        that caused it was observable, so failover cost shows up honestly
+        in the latency percentiles.
+        """
+        groups: dict[int, list] = {}
+        for request in batch.requests:
+            groups.setdefault(self._retry_target(request.tenant, failed_shard), []).append(
+                request
+            )
+        return [
+            ScheduledBatch(
+                batch_id=batch.batch_id,
+                requests=requests,
+                flush_time=max(batch.flush_time, not_before),
+                trigger=batch.trigger,
+                slots=batch.slots,
+                shard_id=target,
+                retries=batch.retries + 1,
+            )
+            for target, requests in sorted(groups.items())
+        ]
+
+    def _retry_target(self, tenant: str, failed_shard: int) -> int:
+        """The surviving shard one tenant's failed work retries on."""
+        if self.router is not None:
+            return self.router.shard_for(tenant)
+        survivors = [
+            s for s in sorted(self.shards) if s != failed_shard and self.shards[s].healthy
+        ]
+        if not survivors:
+            raise ShardError(
+                f"shard {failed_shard} failed and no healthy shard remains"
+            )
+        return survivors[0]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _account(self, stats) -> None:
+        for stage, seconds in stats.stage_totals.items():
+            self._stage_totals[stage] = self._stage_totals.get(stage, 0.0) + seconds
+        self.busy_time += stats.enclave_busy
+
+    def _outcomes(
+        self,
+        batch: ScheduledBatch,
+        group,
+        status: str,
+        error: str | None,
+        fallback: float,
+    ) -> list[RequestOutcome]:
+        outcomes = []
+        for i, req in enumerate(batch.requests):
+            row = group.output[i] if group is not None else None
+            outcomes.append(
+                RequestOutcome(
+                    request_id=req.request_id,
+                    tenant=req.tenant,
+                    status=status,
+                    arrival_time=req.arrival_time,
+                    dispatch_time=(
+                        group.start if group is not None else batch.flush_time
+                    ),
+                    completion_time=(
+                        group.finish if group is not None else fallback
+                    ),
+                    batch_id=batch.batch_id,
+                    logits=row,
+                    prediction=int(np.argmax(row)) if row is not None else None,
+                    error=error,
+                )
+            )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -141,21 +332,28 @@ class InferenceWorkerPool:
         return self._n_workers
 
     @property
+    def n_shards(self) -> int:
+        """Enclave shards behind this pool."""
+        return len(self.shards)
+
+    @property
     def pipeline_depth(self) -> int:
-        """Virtual batches the shared engine keeps in flight."""
+        """Virtual batches each shard's engine keeps in flight."""
         return self.engine.pipeline_depth
 
     def stage_totals(self) -> dict[str, float]:
-        """Cumulative simulated seconds per stage across all batches."""
+        """Cumulative simulated seconds per stage across all shards."""
         return dict(self._stage_totals)
 
     def worker_stats(self) -> list[dict]:
-        """Aggregate pipeline stats (single shared enclave/GPU stack)."""
+        """Per-shard pipeline stats (one row per enclave shard)."""
         return [
             {
-                "worker_id": 0,
-                "batches_run": self.batches_run,
-                "busy_time": self.busy_time,
-                "stage_totals": self.stage_totals(),
+                "worker_id": shard_id,
+                "shard_id": shard_id,
+                "healthy": shard.healthy,
+                "batches_run": shard.batches_run,
+                "busy_time": shard.busy_time,
             }
+            for shard_id, shard in sorted(self.shards.items())
         ]

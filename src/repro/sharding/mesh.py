@@ -1,0 +1,90 @@
+"""Cross-enclave local-attestation mesh.
+
+A multi-shard deployment is only as trustworthy as the links between its
+enclaves: a tenant's session may *migrate* to another shard on failure, so
+every shard must have verified — before taking traffic — that every peer
+runs the same measured code.  The mesh performs the pairwise handshake at
+startup using the primitive the enclave already exposes
+(:meth:`~repro.enclave.enclave.Enclave.verify_peer_quote`, SGX local
+attestation): each shard quotes toward each peer, and the peer checks the
+platform signature and the expected measurement.  Failover then *asserts*
+the link before any session moves; an unverified (or impostor) shard can
+never inherit a session.
+"""
+
+from __future__ import annotations
+
+from repro.enclave import measure_enclave
+from repro.errors import AttestationError, ConfigurationError
+
+
+class AttestationMesh:
+    """Pairwise-verified trust links between enclave shards.
+
+    Parameters
+    ----------
+    shards:
+        The deployment's :class:`~repro.sharding.shard.EnclaveShard` s.
+    expected_code_identity:
+        The code identity every shard must measure to; any deviation
+        fails the startup handshake with
+        :class:`~repro.errors.AttestationError`.
+    """
+
+    def __init__(
+        self,
+        shards,
+        expected_code_identity: str | bytes = "darknight-enclave-v1",
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("attestation mesh needs >= 1 shard")
+        self.shards = list(shards)
+        self.expected_measurement = measure_enclave(expected_code_identity)
+        self._links: set[tuple[int, int]] = set()
+        self.handshakes = 0
+        self.established = False
+
+    def establish(self) -> "AttestationMesh":
+        """Run the full pairwise handshake; idempotent.
+
+        For every ordered pair ``(verifier, prover)`` the prover's enclave
+        produces a quote bound to the link (``report_data`` names both
+        ends) and the verifier checks it against the expected measurement.
+        ``n * (n - 1)`` handshakes for ``n`` shards.
+        """
+        if self.established:
+            return self
+        for verifier in self.shards:
+            for prover in self.shards:
+                if verifier.shard_id == prover.shard_id:
+                    continue
+                quote = prover.enclave.quote(
+                    report_data=f"mesh:{prover.shard_id}->{verifier.shard_id}".encode()
+                )
+                verifier.enclave.verify_peer_quote(quote, self.expected_measurement)
+                self._links.add((verifier.shard_id, prover.shard_id))
+                self.handshakes += 1
+        self.established = True
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def verified(self, shard_a: int, shard_b: int) -> bool:
+        """True when both directions of the link passed attestation."""
+        if shard_a == shard_b:
+            return True
+        return (shard_a, shard_b) in self._links and (shard_b, shard_a) in self._links
+
+    def assert_verified(self, shard_a: int, shard_b: int) -> None:
+        """Refuse any cross-shard hand-off over an unverified link."""
+        if not self.verified(shard_a, shard_b):
+            raise AttestationError(
+                f"no verified attestation link between shard {shard_a} and"
+                f" shard {shard_b}; refusing session migration"
+            )
+
+    @property
+    def n_links(self) -> int:
+        """Directed links verified so far."""
+        return len(self._links)

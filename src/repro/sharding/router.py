@@ -1,0 +1,155 @@
+"""Tenant-to-shard routing: consistent hashing with load-aware pinning.
+
+Tenants are sticky to a shard — their attested session, and therefore
+their encrypted channel, lives on one enclave — so routing is a *pinning*
+decision, made once per tenant and revisited only on shard failure.  The
+router places each new tenant by consistent hashing over a virtual-node
+ring (stable under shard-count changes, no coordination needed), then
+applies a load-aware override: when the ring's candidate already carries
+materially more tenants than the lightest shard, the new tenant is pinned
+to the lightest shard instead.  Hashing is keyed (BLAKE2b), not Python's
+randomized ``hash``, so placements are reproducible across runs.
+
+On failure, :meth:`ShardRouter.fail_shard` removes the dead shard from
+the ring walk and re-pins its displaced tenants through the same
+hash-then-balance rule, returning the remap so the session layer can
+migrate each displaced tenant's attested session.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigurationError, ShardError
+
+
+def _stable_hash(key: str) -> int:
+    """Deterministic 64-bit ring position for a string key."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8, person=b"repro-ring").digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Pins tenants to shards; rebalances new tenants toward light shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Shards in the deployment (ids ``0..n_shards-1``).
+    replicas:
+        Virtual nodes per shard on the hash ring; more replicas smooth
+        the hash distribution at slightly more setup cost.
+    rebalance_margin:
+        How many more pinned tenants the ring's candidate may carry than
+        the least-loaded shard before a *new* tenant is diverted to the
+        latter.  ``1`` balances aggressively (hash placement only breaks
+        ties); larger values preserve hash affinity under skew.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        replicas: int = 48,
+        rebalance_margin: int = 2,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"router needs >= 1 shards, got {n_shards}")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        if rebalance_margin < 1:
+            raise ConfigurationError(
+                f"rebalance margin must be >= 1, got {rebalance_margin}"
+            )
+        self.n_shards = n_shards
+        self.rebalance_margin = rebalance_margin
+        ring = [
+            (_stable_hash(f"shard{shard}/vnode{replica}"), shard)
+            for shard in range(n_shards)
+            for replica in range(replicas)
+        ]
+        ring.sort()
+        self._ring_keys = [h for h, _ in ring]
+        self._ring_shards = [s for _, s in ring]
+        self._pins: dict[str, int] = {}
+        self._load = [0] * n_shards
+        self._failed: set[int] = set()
+        self.rebalanced = 0
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def healthy_shards(self) -> list[int]:
+        """Shard ids currently accepting traffic."""
+        return [s for s in range(self.n_shards) if s not in self._failed]
+
+    def ring_candidate(self, tenant: str) -> int:
+        """The consistent-hashing placement, skipping failed shards."""
+        healthy = self.healthy_shards()
+        if not healthy:
+            raise ShardError("no healthy shards left to route to")
+        start = bisect.bisect_left(self._ring_keys, _stable_hash(tenant))
+        for offset in range(len(self._ring_shards)):
+            shard = self._ring_shards[(start + offset) % len(self._ring_shards)]
+            if shard not in self._failed:
+                return shard
+        raise ShardError("no healthy shards left to route to")
+
+    def shard_for(self, tenant: str) -> int:
+        """The tenant's pinned shard, placing (and pinning) on first sight.
+
+        New tenants take the ring candidate unless it is already carrying
+        ``rebalance_margin`` more pinned tenants than the lightest healthy
+        shard, in which case the lightest shard wins (deterministic tie
+        break toward the lowest shard id).
+        """
+        pinned = self._pins.get(tenant)
+        if pinned is not None and pinned not in self._failed:
+            return pinned
+        candidate = self.ring_candidate(tenant)
+        lightest = min(self.healthy_shards(), key=lambda s: (self._load[s], s))
+        if self._load[candidate] - self._load[lightest] >= self.rebalance_margin:
+            candidate = lightest
+            self.rebalanced += 1
+        self._pins[tenant] = candidate
+        self._load[candidate] += 1
+        return candidate
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def fail_shard(self, shard_id: int) -> dict[str, int]:
+        """Remove a shard from rotation and re-pin its tenants.
+
+        Returns ``{tenant: new_shard}`` for every displaced tenant, in
+        first-pinned order, so callers can migrate sessions in lockstep.
+        """
+        if shard_id not in range(self.n_shards):
+            raise ConfigurationError(f"unknown shard id {shard_id}")
+        if shard_id in self._failed:
+            return {}
+        self._failed.add(shard_id)
+        displaced = [t for t, s in self._pins.items() if s == shard_id]
+        for tenant in displaced:
+            del self._pins[tenant]
+        self._load[shard_id] = 0
+        if not self.healthy_shards():
+            # Nothing left to re-pin onto; tenants stay unpinned and the
+            # next routing attempt surfaces the outage.
+            return {}
+        return {tenant: self.shard_for(tenant) for tenant in displaced}
+
+    def is_failed(self, shard_id: int) -> bool:
+        """True when the shard has been removed from rotation."""
+        return shard_id in self._failed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pins(self) -> dict[str, int]:
+        """Current tenant -> shard pinning."""
+        return dict(self._pins)
+
+    def loads(self) -> list[int]:
+        """Pinned-tenant count per shard."""
+        return list(self._load)

@@ -1,0 +1,171 @@
+"""One enclave shard: a trusted unit with its own serialized timeline.
+
+DarKnight's enclave is the serialized resource — every encode, decode, and
+TEE-resident layer queues on one clock.  A shard bundles one such unit end
+to end: an :class:`~repro.enclave.Enclave`, a
+:class:`~repro.gpu.GpuCluster` sized for the masking parameters, and a
+:class:`~repro.runtime.inference.PrivateInferenceEngine` whose staged
+executor runs on the shard's *own* :class:`EnclaveTimeline`.  Shards
+therefore progress in parallel on the simulated clock; the router decides
+which tenants ride which timeline.
+
+Failure is a first-class event: :meth:`EnclaveShard.kill` (or the
+test-facing :meth:`EnclaveShard.fail_after`) makes subsequent dispatch
+raise :class:`~repro.errors.ShardFailedError` carrying the window batches
+that did complete, so the worker pool can fail the remainder over to a
+surviving shard without dropping a response.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.comm import LinkModel
+from repro.enclave import Enclave
+from repro.errors import ShardFailedError
+from repro.gpu import GpuCluster
+from repro.pipeline.timing import StageCostModel
+from repro.runtime.config import DarKnightConfig
+from repro.runtime.darknight import DarKnightBackend
+from repro.runtime.inference import PrivateInferenceEngine
+
+
+class EnclaveShard:
+    """An enclave + GPU cluster + pipeline engine behind one shard id.
+
+    Parameters
+    ----------
+    shard_id:
+        Position in the deployment's shard list (stable across failover).
+    engine:
+        The shard's private-inference engine; its backend owns the
+        enclave and cluster, and its timeline is the shard's clock.
+        Build one from scratch with :meth:`provision`.
+    """
+
+    def __init__(self, shard_id: int, engine: PrivateInferenceEngine) -> None:
+        self.shard_id = shard_id
+        self.engine = engine
+        self.healthy = True
+        self.batches_run = 0
+        #: Enclave-occupied simulated seconds across dispatched windows.
+        self.busy_time = 0.0
+        self._fail_after: int | None = None
+
+    @classmethod
+    def provision(
+        cls,
+        shard_id: int,
+        network,
+        config: DarKnightConfig,
+        code_identity: str | bytes = "darknight-enclave-v1",
+        stage_costs: StageCostModel | None = None,
+        cluster: GpuCluster | None = None,
+        enclave: Enclave | None = None,
+        link: LinkModel | None = None,
+    ) -> "EnclaveShard":
+        """Build a shard's full trusted stack from a DarKnight config.
+
+        The shard's enclave randomness is derived from ``config.seed`` and
+        the shard id, so multi-shard deployments stay deterministic while
+        every shard masks with independent coefficients/noise.  (Decoded
+        logits never depend on the seed — masking decodes exactly.)
+        """
+        seed = None if config.seed is None else config.seed + shard_id
+        shard_config = dataclasses.replace(config, seed=seed)
+        enclave = enclave or Enclave(code_identity=code_identity, seed=seed)
+        backend = DarKnightBackend(
+            shard_config, enclave=enclave, cluster=cluster, link=link
+        )
+        engine = PrivateInferenceEngine(
+            network, backend=backend, stage_costs=stage_costs
+        )
+        return cls(shard_id, engine)
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def enclave(self) -> Enclave:
+        """The shard's trust anchor."""
+        return self.engine.backend.enclave
+
+    @property
+    def backend(self) -> DarKnightBackend:
+        """The shard's masked execution backend."""
+        return self.engine.backend
+
+    @property
+    def cluster(self) -> GpuCluster:
+        """The shard's simulated accelerator pool."""
+        return self.engine.backend.cluster
+
+    @property
+    def timeline(self):
+        """The shard's serialized enclave clock."""
+        return self.engine.timeline
+
+    @property
+    def n_gpus(self) -> int:
+        """Simulated devices this shard occupies."""
+        return len(self.cluster)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Take the shard down; subsequent dispatch raises ShardFailedError."""
+        self.healthy = False
+
+    def fail_after(self, n_batches: int) -> None:
+        """Arrange for the shard to die after ``n_batches`` total batches.
+
+        When the threshold lands inside a dispatched window the shard
+        completes the batches it still owes, then fails *mid-window* —
+        exactly the scenario session failover must survive.
+        """
+        self._fail_after = n_batches
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run_window(self, items: list[tuple[np.ndarray, float]]):
+        """Run one flush window on this shard's timeline.
+
+        Returns ``(groups, stats)`` exactly like
+        :meth:`~repro.runtime.inference.PrivateInferenceEngine.run_batch_window`.
+
+        Raises
+        ------
+        ShardFailedError
+            When the shard is dead (nothing ran) or dies mid-window (the
+            error carries the completed prefix so no response is lost).
+        """
+        if not self.healthy:
+            raise ShardFailedError(
+                f"shard {self.shard_id} is down", shard_id=self.shard_id
+            )
+        budget = None
+        if self._fail_after is not None:
+            budget = max(0, self._fail_after - self.batches_run)
+        if budget is not None and budget < len(items):
+            completed = []
+            for item in items[:budget]:
+                groups, stats = self.engine.run_batch_window([item])
+                self.batches_run += 1
+                self.busy_time += stats.enclave_busy
+                completed.append((groups, stats))
+            self.healthy = False
+            raise ShardFailedError(
+                f"shard {self.shard_id} failed mid-window after"
+                f" {self.batches_run} batches",
+                shard_id=self.shard_id,
+                completed=completed,
+                remaining_from=budget,
+            )
+        groups, stats = self.engine.run_batch_window(items)
+        self.batches_run += len(items)
+        self.busy_time += stats.enclave_busy
+        return groups, stats

@@ -99,6 +99,75 @@ def test_pipelined_serve_completes_the_same_trace(capsys):
     assert counts == ["12", "12"]
 
 
+def test_serve_subcommand_with_shards(capsys):
+    """--num-shards provisions parallel enclave shards and serves cleanly."""
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--requests", "16",
+            "--tenants", "4",
+            "--num-shards", "2",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 shard(s)" in out
+    assert "completed requests  | 16" in out
+    assert "2 enclave shard(s)" in out
+
+
+def test_serve_rejects_num_shards_below_one(capsys):
+    rc = main(["serve", "--model", "tiny", "--num-shards", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--num-shards must be >= 1" in err
+
+
+def test_serve_rejects_gpu_budget_too_small_for_shards(capsys):
+    """K=4, M=1 -> 5 GPUs/shard; 2 shards need 10, a budget of 8 must fail
+    with a clear error instead of a deep traceback."""
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--num-shards", "2",
+            "--virtual-batch", "4",
+            "--gpus", "8",
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "--gpus 8 cannot host 2 shard(s)" in err
+    assert "10 total" in err
+
+
+def test_serve_accepts_sufficient_gpu_budget(capsys):
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--requests", "8",
+            "--num-shards", "2",
+            "--virtual-batch", "4",
+            "--gpus", "10",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    assert "completed requests  | 8" in capsys.readouterr().out
+
+
+def test_serve_rejects_bad_virtual_batch_cleanly(capsys):
+    rc = main(["serve", "--model", "tiny", "--virtual-batch", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "virtual batch size" in err
+
+
 def test_explicit_report_subcommand(capsys):
     assert main(["report"]) == 0
     assert "Table 1" in capsys.readouterr().out

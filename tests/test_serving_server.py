@@ -1,7 +1,6 @@
 """End-to-end tests for the multi-tenant private-inference server."""
 
 import numpy as np
-import pytest
 
 from repro.fieldmath import PrimeField
 from repro.gpu import GpuCluster, RandomTamper

@@ -1,0 +1,92 @@
+"""Tests for the cross-enclave local-attestation mesh and shard lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttestationError, ShardFailedError
+from repro.nn import Dense, Sequential
+from repro.runtime.config import DarKnightConfig
+from repro.sharding import AttestationMesh, EnclaveShard
+
+
+def _net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(8, 4, rng=rng)], (8,))
+
+
+def _shards(n, code_identity="darknight-enclave-v1"):
+    net = _net()
+    dk = DarKnightConfig(virtual_batch_size=2, seed=0)
+    return [
+        EnclaveShard.provision(i, net, dk, code_identity=code_identity)
+        for i in range(n)
+    ]
+
+
+def test_mesh_establishes_all_pairwise_links():
+    shards = _shards(3)
+    mesh = AttestationMesh(shards).establish()
+    assert mesh.handshakes == 3 * 2
+    assert mesh.n_links == 6
+    for a in range(3):
+        for b in range(3):
+            assert mesh.verified(a, b)
+    # establish() is idempotent: no re-handshaking on a second call.
+    mesh.establish()
+    assert mesh.handshakes == 6
+
+
+def test_mesh_refuses_an_impostor_shard():
+    shards = _shards(2)
+    rogue = EnclaveShard.provision(
+        2, _net(), DarKnightConfig(virtual_batch_size=2, seed=0),
+        code_identity="trojaned-enclave",
+    )
+    mesh = AttestationMesh(shards + [rogue])
+    with pytest.raises(AttestationError):
+        mesh.establish()
+
+
+def test_unverified_link_blocks_migration():
+    shards = _shards(2)
+    mesh = AttestationMesh(shards)  # never established
+    assert not mesh.verified(0, 1)
+    with pytest.raises(AttestationError):
+        mesh.assert_verified(0, 1)
+    # Same-shard hand-offs are trivially fine.
+    mesh.assert_verified(1, 1)
+
+
+def test_shard_seeds_derive_from_config_and_shard_id():
+    shards = _shards(2)
+    # Distinct enclaves, same measurement, independent masking randomness.
+    assert shards[0].enclave is not shards[1].enclave
+    assert shards[0].enclave.measurement == shards[1].enclave.measurement
+    assert shards[0].backend.config.seed == 0
+    assert shards[1].backend.config.seed == 1
+
+
+def test_dead_shard_refuses_dispatch():
+    shard = _shards(1)[0]
+    shard.kill()
+    with pytest.raises(ShardFailedError):
+        shard.run_window([(np.zeros((2, 8)), 0.0)])
+
+
+def test_fail_after_dies_mid_window_with_completed_prefix():
+    shard = _shards(1)[0]
+    shard.fail_after(2)
+    x = np.random.default_rng(0).normal(size=(2, 8))
+    items = [(x, 0.0), (x, 0.0), (x, 0.0)]
+    with pytest.raises(ShardFailedError) as excinfo:
+        shard.run_window(items)
+    err = excinfo.value
+    assert err.shard_id == 0
+    assert err.remaining_from == 2
+    assert len(err.completed) == 2
+    # The completed prefix carries real results: nothing is dropped.
+    for groups, stats in err.completed:
+        assert groups[0].output.shape == (2, 4)
+        assert stats.n_jobs == 1
+    assert not shard.healthy
+    assert shard.batches_run == 2

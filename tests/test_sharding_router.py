@@ -1,0 +1,85 @@
+"""Tests for consistent-hashing tenant routing with load-aware pinning."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ShardError
+from repro.sharding import ShardRouter
+
+
+def test_pins_are_sticky_and_deterministic():
+    a = ShardRouter(4)
+    b = ShardRouter(4)
+    tenants = [f"tenant{i}" for i in range(20)]
+    first = {t: a.shard_for(t) for t in tenants}
+    # Same tenant, same router -> same shard on every later lookup.
+    for t in tenants:
+        assert a.shard_for(t) == first[t]
+    # A fresh router with the same shape reproduces the placement exactly
+    # (keyed BLAKE2b hashing, not Python's randomized hash).
+    assert {t: b.shard_for(t) for t in tenants} == first
+
+
+def test_single_shard_routes_everything_to_zero():
+    router = ShardRouter(1)
+    assert {router.shard_for(f"t{i}") for i in range(10)} == {0}
+    assert router.loads() == [10]
+
+
+def test_load_aware_rebalancing_bounds_skew():
+    router = ShardRouter(4, rebalance_margin=2)
+    for i in range(40):
+        router.shard_for(f"tenant{i}")
+    loads = router.loads()
+    assert sum(loads) == 40
+    # The margin caps how far the hash distribution can wander from the
+    # lightest shard at each placement.
+    assert max(loads) - min(loads) <= router.rebalance_margin
+    assert router.rebalanced > 0
+
+
+def test_ring_candidate_ignores_pin_state():
+    router = ShardRouter(3)
+    candidate = router.ring_candidate("alice")
+    assert candidate in (0, 1, 2)
+    # ring_candidate is pure placement; it never pins.
+    assert router.pins() == {}
+
+
+def test_fail_shard_remaps_displaced_tenants_to_survivors():
+    router = ShardRouter(3, rebalance_margin=1)
+    tenants = [f"tenant{i}" for i in range(12)]
+    before = {t: router.shard_for(t) for t in tenants}
+    victims = [t for t, s in before.items() if s == 1]
+    assert victims, "expected at least one tenant on shard 1"
+    remap = router.fail_shard(1)
+    assert sorted(remap) == sorted(victims)
+    assert all(shard in (0, 2) for shard in remap.values())
+    # Tenants on surviving shards never move.
+    for t, s in before.items():
+        if s != 1:
+            assert router.shard_for(t) == s
+    # The dead shard is out of every future placement.
+    assert router.is_failed(1)
+    assert all(router.shard_for(f"new{i}") in (0, 2) for i in range(8))
+    # Failing a shard twice is a no-op.
+    assert router.fail_shard(1) == {}
+
+
+def test_all_shards_failed_raises():
+    router = ShardRouter(2)
+    router.shard_for("alice")
+    router.fail_shard(0)
+    router.fail_shard(1)
+    with pytest.raises(ShardError):
+        router.shard_for("alice")
+
+
+def test_invalid_parameters_are_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardRouter(0)
+    with pytest.raises(ConfigurationError):
+        ShardRouter(2, replicas=0)
+    with pytest.raises(ConfigurationError):
+        ShardRouter(2, rebalance_margin=0)
+    with pytest.raises(ConfigurationError):
+        ShardRouter(2).fail_shard(5)
