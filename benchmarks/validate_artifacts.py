@@ -1,0 +1,49 @@
+"""Assert every benchmark JSON artifact parses as *strict* JSON.
+
+``json.dumps`` happily emits the non-standard ``Infinity``/``NaN``
+literals (and ``json.loads`` accepts them back), so a metric leaking a
+non-finite float produces an artifact most other tooling rejects.  CI
+runs this after the benchmark-smoke jobs: parsing with a
+``parse_constant`` rejector fails the build the moment any artifact
+carries a non-finite constant.
+
+Usage::
+
+    python benchmarks/validate_artifacts.py bench-results/
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _reject(constant: str):
+    raise ValueError(f"non-strict JSON constant {constant!r}")
+
+
+def validate_tree(root: Path) -> list[Path]:
+    """Strict-parse every ``*.json`` under ``root``; return the files."""
+    files = sorted(root.rglob("*.json"))
+    if not files:
+        raise SystemExit(f"no JSON artifacts found under {root}")
+    for path in files:
+        try:
+            json.loads(path.read_text(), parse_constant=_reject)
+        except ValueError as exc:
+            raise SystemExit(f"{path}: not strict JSON ({exc})") from exc
+    return files
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path("bench-results")
+    files = validate_tree(root)
+    print(f"{len(files)} artifact(s) under {root} are strict JSON:")
+    for path in files:
+        print(f"  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -125,6 +125,23 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="max seconds a request waits before a partial batch flushes",
     )
     parser.add_argument(
+        "--adaptive-batching", action="store_true",
+        help="learn each shard's flush deadline from observed arrivals and"
+             " pipeline timings, and cap K against the enclave's EPC budget"
+             " (--batch-wait becomes the deadline ceiling)",
+    )
+    parser.add_argument(
+        "--target-fill", type=float, default=None,
+        help="fill ratio adaptive deadline flushes aim for, default 0.85"
+             " (requires --adaptive-batching)",
+    )
+    parser.add_argument(
+        "--epc-budget", type=int, default=None,
+        help="usable EPC bytes each enclave models (default: the paper"
+             " generation's ~93 MB); adaptive batching sizes K against it"
+             " (requires --adaptive-batching)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=2,
         help="accepted for compatibility; overlap now comes from the staged"
              " pipeline (use --pipeline-depth)",
@@ -187,11 +204,20 @@ def _serve(args) -> int:
         raise ConfigurationError(
             f"--num-shards must be >= 1, got {args.num_shards}"
         )
+    if not args.adaptive_batching and args.target_fill is not None:
+        raise ConfigurationError(
+            "--target-fill only applies with --adaptive-batching"
+        )
+    if not args.adaptive_batching and args.epc_budget is not None:
+        raise ConfigurationError(
+            "--epc-budget only applies with --adaptive-batching"
+        )
     dk = DarKnightConfig(
         virtual_batch_size=args.virtual_batch,
         integrity=args.integrity,
         pipeline_depth=args.pipeline_depth,
         num_shards=args.num_shards,
+        epc_budget_bytes=args.epc_budget,
         seed=args.seed,
     )
     gpus_needed = args.num_shards * dk.n_gpus_required
@@ -203,12 +229,20 @@ def _serve(args) -> int:
             " raise --gpus or lower --num-shards / --virtual-batch"
         )
     network, input_shape = build_serving_model(args.model, seed=args.seed)
+    adaptive = None
+    if args.adaptive_batching:
+        from repro.serving import AdaptiveBatchingConfig
+
+        adaptive = AdaptiveBatchingConfig(
+            target_fill=0.85 if args.target_fill is None else args.target_fill
+        )
     config = ServingConfig(
         darknight=dk,
         max_batch_wait=args.batch_wait,
         queue_capacity=args.queue_capacity,
         n_workers=args.workers,
         coalesce=not args.per_request,
+        adaptive=adaptive,
     )
     trace = synthetic_trace(
         n_requests=args.requests,
@@ -219,7 +253,15 @@ def _serve(args) -> int:
     )
     server = PrivateInferenceServer(network, config)
     report = server.serve_trace(trace)
-    mode = "per-request" if args.per_request else f"coalesced K={args.virtual_batch}"
+    if args.per_request:
+        mode = "per-request"
+    elif args.adaptive_batching:
+        mode = (
+            f"adaptive K={server.darknight.virtual_batch_size}"
+            f" (requested {args.virtual_batch})"
+        )
+    else:
+        mode = f"coalesced K={args.virtual_batch}"
     print(
         f"served {args.requests} requests from {args.tenants} tenants"
         f" ({mode}, integrity={'on' if args.integrity else 'off'},"

@@ -66,6 +66,13 @@ class DarKnightConfig:
         (the backward pass needs a scalar batch factor); the serving layer
         enables it so routing/coalescing choices — including shard counts —
         can never change a response bit.
+    epc_budget_bytes:
+        Usable EPC bytes each provisioned enclave models (``None`` keeps
+        the paper generation's ~93 MB).  The serving layer's adaptive
+        batching sizes the virtual batch against this budget so one
+        batch's masking working set never silently pages; tests and
+        benchmarks shrink it to exercise the paper's Fig. 3/6b memory
+        knee without 93 MB tensors.
     seed:
         Seed for all enclave randomness.
     """
@@ -83,6 +90,7 @@ class DarKnightConfig:
     pipeline_depth: int = 1
     num_shards: int = 1
     per_sample_normalization: bool = False
+    epc_budget_bytes: int | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -105,6 +113,10 @@ class DarKnightConfig:
         if self.num_shards < 1:
             raise ConfigurationError(
                 f"num shards must be >= 1, got {self.num_shards}"
+            )
+        if self.epc_budget_bytes is not None and self.epc_budget_bytes <= 0:
+            raise ConfigurationError(
+                f"EPC budget must be > 0 bytes, got {self.epc_budget_bytes}"
             )
 
     @property

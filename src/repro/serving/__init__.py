@@ -10,6 +10,14 @@ one scheduler; a cross-enclave attestation mesh lets sessions fail over
 when a shard dies.
 """
 
+from repro.serving.adaptive import (
+    AdaptiveBatchingConfig,
+    AdaptiveFlushPolicy,
+    WindowFeedback,
+    epc_fitting_batch_size,
+    estimate_slot_bytes,
+    working_set_bytes,
+)
 from repro.serving.metrics import ServerMetrics
 from repro.serving.queue import RequestQueue
 from repro.serving.requests import (
@@ -29,10 +37,22 @@ from repro.serving.session import (
     SessionManager,
     ShardedSessionManager,
 )
-from repro.serving.trace import TraceRequest, synthetic_trace, trace_from_arrays
+from repro.serving.trace import (
+    TraceRequest,
+    bursty_trace,
+    ramping_trace,
+    synthetic_trace,
+    trace_from_arrays,
+)
 from repro.serving.worker import InferenceWorkerPool
 
 __all__ = [
+    "AdaptiveBatchingConfig",
+    "AdaptiveFlushPolicy",
+    "WindowFeedback",
+    "epc_fitting_batch_size",
+    "estimate_slot_bytes",
+    "working_set_bytes",
     "PendingRequest",
     "RequestOutcome",
     "ScheduledBatch",
@@ -53,6 +73,8 @@ __all__ = [
     "ServingConfig",
     "ServingReport",
     "TraceRequest",
+    "bursty_trace",
+    "ramping_trace",
     "synthetic_trace",
     "trace_from_arrays",
 ]

@@ -7,6 +7,8 @@ rest of the repo's exhibits.  All times are simulated-clock seconds.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.reporting import render_table
@@ -49,9 +51,13 @@ class ServerMetrics:
         )
 
     def record_outcome(self, outcome: RequestOutcome) -> None:
-        """Account one finished (ok or failed) request."""
-        if self._first_arrival is None or outcome.arrival_time < self._first_arrival:
-            self._first_arrival = outcome.arrival_time
+        """Account one finished (ok or failed) request.
+
+        Only *completed* requests move the throughput span: shed and
+        failed requests produce no served response, so letting their
+        arrivals stretch the span start deflated throughput on mixed
+        traces.
+        """
         if outcome.status == STATUS_INTEGRITY_FAILED:
             self.integrity_failures += 1
             return
@@ -68,15 +74,15 @@ class ServerMetrics:
             self._completed_by_tenant.get(outcome.tenant, 0) + 1
         )
         self._latencies.append(outcome.latency)
+        if self._first_arrival is None or outcome.arrival_time < self._first_arrival:
+            self._first_arrival = outcome.arrival_time
         if self._last_completion is None or outcome.completion_time > self._last_completion:
             self._last_completion = outcome.completion_time
 
-    def record_shed(self, tenant: str, now: float) -> None:
+    def record_shed(self, tenant: str) -> None:
         """Account one request refused by backpressure."""
         self.shed += 1
         self._shed_by_tenant[tenant] = self._shed_by_tenant.get(tenant, 0) + 1
-        if self._first_arrival is None or now < self._first_arrival:
-            self._first_arrival = now
 
     # ------------------------------------------------------------------
     # derived statistics
@@ -99,12 +105,19 @@ class ServerMetrics:
 
     @property
     def throughput(self) -> float:
-        """Completed requests per simulated second (arrival to last completion)."""
+        """Completed requests per simulated second.
+
+        The span runs from the first *completed* request's arrival to the
+        last completion, so shed/failed arrivals cannot stretch it.  A
+        degenerate span (a single instantaneous completion) reports
+        ``0.0`` rather than leaking ``inf`` into snapshots and benchmark
+        JSON artifacts.
+        """
         if self.completed == 0 or self._first_arrival is None:
             return 0.0
         span = (self._last_completion or 0.0) - self._first_arrival
         if span <= 0:
-            return float("inf")
+            return 0.0
         return self.completed / span
 
     def completed_by_tenant(self) -> dict[str, int]:
@@ -123,7 +136,18 @@ class ServerMetrics:
     # reporting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """All headline numbers as one dict (stable keys for tests/benches)."""
+        """All headline numbers as one dict (stable keys for tests/benches).
+
+        Strict-JSON-safe: non-finite floats (no completions yet, empty
+        percentiles) are reported as ``None``/``null``, never as the
+        ``Infinity``/``NaN`` literals ``json.dumps`` would otherwise emit
+        into benchmark artifacts.
+        """
+
+        def _finite(value: float) -> float | None:
+            value = float(value)
+            return value if math.isfinite(value) else None
+
         return {
             "completed": self.completed,
             "shed": self.shed,
@@ -131,15 +155,21 @@ class ServerMetrics:
             "decode_errors": self.decode_errors,
             "shard_failures": self.shard_failures,
             "batches": self.batches,
-            "batch_fill_ratio": self.batch_fill_ratio,
-            "throughput_rps": self.throughput,
-            "latency_p50": self.latency_percentile(50),
-            "latency_p99": self.latency_percentile(99),
-            "latency_mean": self.mean_latency,
+            "batch_fill_ratio": _finite(self.batch_fill_ratio),
+            "throughput_rps": _finite(self.throughput),
+            "latency_p50": _finite(self.latency_percentile(50)),
+            "latency_p99": _finite(self.latency_percentile(99)),
+            "latency_mean": _finite(self.mean_latency),
         }
 
     def render(self, title: str = "Serving metrics") -> str:
         """ASCII table of the snapshot."""
+
+        def _fmt(value: float | None, scale: float = 1.0, digits: int = 2) -> str:
+            if value is None:
+                return "n/a"
+            return f"{value * scale:.{digits}f}"
+
         snap = self.snapshot()
         rows = [
             ["completed requests", snap["completed"]],
@@ -148,10 +178,10 @@ class ServerMetrics:
             ["decode errors", snap["decode_errors"]],
             ["shard failures", snap["shard_failures"]],
             ["virtual batches", snap["batches"]],
-            ["batch fill ratio", f"{snap['batch_fill_ratio']:.2f}"],
-            ["throughput (req/s)", f"{snap['throughput_rps']:.1f}"],
-            ["latency p50 (ms)", f"{snap['latency_p50'] * 1e3:.2f}"],
-            ["latency p99 (ms)", f"{snap['latency_p99'] * 1e3:.2f}"],
-            ["latency mean (ms)", f"{snap['latency_mean'] * 1e3:.2f}"],
+            ["batch fill ratio", _fmt(snap["batch_fill_ratio"])],
+            ["throughput (req/s)", _fmt(snap["throughput_rps"], digits=1)],
+            ["latency p50 (ms)", _fmt(snap["latency_p50"], scale=1e3)],
+            ["latency p99 (ms)", _fmt(snap["latency_p99"], scale=1e3)],
+            ["latency mean (ms)", _fmt(snap["latency_mean"], scale=1e3)],
         ]
         return render_table(["metric", "value"], rows, title=title)

@@ -29,8 +29,14 @@ class RequestQueue:
             raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._queues: dict[str, deque[PendingRequest]] = {}
-        self._order: list[str] = []
-        self._rr = 0
+        self._seen: list[str] = []
+        #: Tenants with pending requests, in rotation order.  The head is
+        #: always the next tenant to serve; serving rotates it to the
+        #: back, draining a tenant drops it, and a (re-)activating tenant
+        #: joins at the back — so the rotation is anchored by tenant, not
+        #: by an index into an ever-growing list, and a new tenant can
+        #: never skip or double-serve an existing tenant's turn.
+        self._rotation: deque[str] = deque()
         self._depth = 0
         self.shed_count = 0
         self.pushed_count = 0
@@ -55,7 +61,11 @@ class RequestQueue:
         tenant_queue = self._queues.get(request.tenant)
         if tenant_queue is None:
             tenant_queue = self._queues[request.tenant] = deque()
-            self._order.append(request.tenant)
+            self._seen.append(request.tenant)
+        if not tenant_queue:
+            # Newly active (or re-activating after a drain): take the
+            # back of the rotation — never the middle of someone's turn.
+            self._rotation.append(request.tenant)
         tenant_queue.append(request)
         self._depth += 1
         self.pushed_count += 1
@@ -68,18 +78,19 @@ class RequestQueue:
 
         Tenants are visited round-robin starting where the previous call
         stopped, so over consecutive batches every active tenant gets an
-        equal share of slots regardless of individual queue depth.
+        equal share of slots regardless of individual queue depth.  The
+        rotation holds only tenants with pending work and is keyed by
+        tenant, so tenants draining or arriving mid-rotation never shift
+        whose turn is next.
         """
         out: list[PendingRequest] = []
-        while len(out) < max_n and self._depth:
-            for _ in range(len(self._order)):
-                tenant = self._order[self._rr % len(self._order)]
-                self._rr += 1
-                tenant_queue = self._queues[tenant]
-                if tenant_queue:
-                    out.append(tenant_queue.popleft())
-                    self._depth -= 1
-                    break
+        while len(out) < max_n and self._rotation:
+            tenant = self._rotation.popleft()
+            tenant_queue = self._queues[tenant]
+            out.append(tenant_queue.popleft())
+            self._depth -= 1
+            if tenant_queue:
+                self._rotation.append(tenant)
         return out
 
     # ------------------------------------------------------------------
@@ -93,7 +104,7 @@ class RequestQueue:
     @property
     def tenants(self) -> list[str]:
         """Tenants seen so far, in first-arrival order."""
-        return list(self._order)
+        return list(self._seen)
 
     def depth_by_tenant(self) -> dict[str, int]:
         """Pending requests per tenant."""

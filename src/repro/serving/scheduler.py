@@ -22,6 +22,7 @@ import itertools
 import math
 
 from repro.errors import ConfigurationError
+from repro.serving.adaptive import AdaptiveFlushPolicy, WindowFeedback
 from repro.serving.queue import RequestQueue
 from repro.serving.requests import ScheduledBatch
 
@@ -48,6 +49,12 @@ class VirtualBatchScheduler:
     id_source:
         Shared batch-id counter; a sharded deployment passes one counter
         to every per-shard scheduler so batch ids stay globally unique.
+    policy:
+        Optional :class:`~repro.serving.adaptive.AdaptiveFlushPolicy`.
+        When set, the flush deadline is the policy's learned wait and the
+        coalescing target is its EPC-capped batch size; when ``None``
+        (the default) the static ``batch_size``/``max_wait`` knobs apply
+        unchanged.
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class VirtualBatchScheduler:
         slots: int | None = None,
         shard_id: int = 0,
         id_source: "itertools.count | None" = None,
+        policy: AdaptiveFlushPolicy | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
@@ -68,10 +76,17 @@ class VirtualBatchScheduler:
         self.max_wait = max_wait
         self.slots = max(batch_size, slots or batch_size)
         self.shard_id = shard_id
+        self.policy = policy
         self._ids = id_source if id_source is not None else itertools.count()
         self.batches_scheduled = 0
 
-    def _make(self, requests, flush_time: float, trigger: str) -> ScheduledBatch:
+    def _make(
+        self,
+        requests,
+        flush_time: float,
+        trigger: str,
+        wait_used: float | None = None,
+    ) -> ScheduledBatch:
         batch = ScheduledBatch(
             batch_id=next(self._ids),
             requests=requests,
@@ -81,7 +96,37 @@ class VirtualBatchScheduler:
             shard_id=self.shard_id,
         )
         self.batches_scheduled += 1
+        if self.policy is not None:
+            self.policy.observe_flush(
+                trigger, batch.n_requests, wait_used, flush_time=flush_time
+            )
         return batch
+
+    # ------------------------------------------------------------------
+    # adaptive hooks (no-ops in static mode)
+    # ------------------------------------------------------------------
+    @property
+    def effective_batch_size(self) -> int:
+        """The coalescing target in force: static ``K`` or the policy's cap."""
+        if self.policy is None:
+            return self.batch_size
+        return min(self.batch_size, self.policy.batch_size)
+
+    def current_wait(self) -> float:
+        """The flush deadline in force for the oldest queued request."""
+        if self.policy is None:
+            return self.max_wait
+        return self.policy.current_wait(pending=self.queue.depth)
+
+    def observe_arrival(self, now: float) -> None:
+        """Tell the policy one request was admitted to this shard's queue."""
+        if self.policy is not None:
+            self.policy.observe_arrival(now)
+
+    def observe_feedback(self, feedback: WindowFeedback) -> None:
+        """Fold one dispatched window's measured timings into the policy."""
+        if self.policy is not None:
+            self.policy.observe_window(feedback)
 
     # ------------------------------------------------------------------
     # flush triggers
@@ -89,9 +134,9 @@ class VirtualBatchScheduler:
     def collect_ready(self, now: float) -> list[ScheduledBatch]:
         """Flush every *full* batch available at ``now`` (size trigger)."""
         batches = []
-        while self.queue.depth >= self.batch_size:
+        while self.queue.depth >= self.effective_batch_size:
             batches.append(
-                self._make(self.queue.pop_fair(self.batch_size), now, "size")
+                self._make(self.queue.pop_fair(self.effective_batch_size), now, "size")
             )
         return batches
 
@@ -99,19 +144,27 @@ class VirtualBatchScheduler:
         """Flush partial batches whose oldest request hit the deadline.
 
         Each flush is stamped with the *deadline* time (oldest enqueue +
-        ``max_wait``), not ``now``: between trace arrivals the simulated
-        server would have fired the flush timer at the deadline itself.
-        Passing ``now = math.inf`` drains everything deadline-by-deadline.
+        the wait in force), not ``now``: between trace arrivals the
+        simulated server would have fired the flush timer at the deadline
+        itself.  In adaptive mode the wait is the policy's learned
+        deadline, re-evaluated per flush as the queue drains.  Passing
+        ``now = math.inf`` drains everything deadline-by-deadline.
         """
         batches = []
         while self.queue.depth:
             oldest = self.queue.oldest_enqueue_time()
-            deadline = oldest + self.max_wait
+            wait = self.current_wait()
+            deadline = oldest + wait
             if deadline > now:
                 break
             flush_at = deadline if math.isfinite(deadline) else oldest
             batches.append(
-                self._make(self.queue.pop_fair(self.batch_size), flush_at, "deadline")
+                self._make(
+                    self.queue.pop_fair(self.effective_batch_size),
+                    flush_at,
+                    "deadline",
+                    wait_used=wait,
+                )
             )
         return batches
 
@@ -120,7 +173,9 @@ class VirtualBatchScheduler:
         batches = []
         while self.queue.depth:
             batches.append(
-                self._make(self.queue.pop_fair(self.batch_size), now, "drain")
+                self._make(
+                    self.queue.pop_fair(self.effective_batch_size), now, "drain"
+                )
             )
         return batches
 
@@ -141,6 +196,10 @@ class ShardedBatchScheduler:
         One bounded :class:`~repro.serving.queue.RequestQueue` per shard.
     batch_size / max_wait / slots:
         As for :class:`VirtualBatchScheduler`, applied uniformly.
+    policies:
+        Optional per-shard :class:`~repro.serving.adaptive.
+        AdaptiveFlushPolicy` list (one per queue — every shard adapts
+        independently); ``None`` keeps every shard on the static knobs.
     """
 
     def __init__(
@@ -149,13 +208,25 @@ class ShardedBatchScheduler:
         batch_size: int,
         max_wait: float = 0.01,
         slots: int | None = None,
+        policies: "list[AdaptiveFlushPolicy] | None" = None,
     ) -> None:
         if not queues:
             raise ConfigurationError("sharded scheduler needs >= 1 queue")
+        if policies is not None and len(policies) != len(queues):
+            raise ConfigurationError(
+                f"need one policy per shard: {len(policies)} policies"
+                f" for {len(queues)} queues"
+            )
         ids = itertools.count()
         self.shards = [
             VirtualBatchScheduler(
-                queue, batch_size, max_wait, slots=slots, shard_id=i, id_source=ids
+                queue,
+                batch_size,
+                max_wait,
+                slots=slots,
+                shard_id=i,
+                id_source=ids,
+                policy=policies[i] if policies is not None else None,
             )
             for i, queue in enumerate(queues)
         ]
@@ -178,6 +249,25 @@ class ShardedBatchScheduler:
     def drain(self, now: float) -> list[ScheduledBatch]:
         """Flush everything on every shard immediately (shutdown)."""
         return [b for shard in self.shards for b in shard.drain(now)]
+
+    # ------------------------------------------------------------------
+    # adaptive hooks (no-ops when no shard carries a policy)
+    # ------------------------------------------------------------------
+    def observe_arrival(self, shard_id: int, now: float) -> None:
+        """Route one admitted arrival to its shard's policy."""
+        self.shards[shard_id].observe_arrival(now)
+
+    def observe_feedback(self, feedback: WindowFeedback) -> None:
+        """Route one dispatched window's measured timings to its shard."""
+        if 0 <= feedback.shard_id < len(self.shards):
+            self.shards[feedback.shard_id].observe_feedback(feedback)
+
+    def policy_snapshots(self) -> list[dict | None]:
+        """Each shard's learned-policy telemetry (None for static shards)."""
+        return [
+            shard.policy.snapshot() if shard.policy is not None else None
+            for shard in self.shards
+        ]
 
     @property
     def batches_scheduled(self) -> int:

@@ -33,13 +33,19 @@ from typing import Iterable
 import numpy as np
 
 from repro.comm import LinkModel
-from repro.enclave import Enclave
+from repro.enclave import EPC_USABLE_BYTES, Enclave
 from repro.errors import BackpressureError, ConfigurationError, ShardError
 from repro.gpu import GpuCluster
 from repro.nn import Sequential
 from repro.pipeline.timing import StageCostModel
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 from repro.runtime.config import DarKnightConfig
+from repro.serving.adaptive import (
+    AdaptiveBatchingConfig,
+    build_policies,
+    epc_fitting_batch_size,
+    estimate_slot_bytes,
+)
 from repro.serving.metrics import ServerMetrics
 from repro.serving.queue import RequestQueue
 from repro.serving.requests import (
@@ -94,6 +100,14 @@ class ServingConfig:
         times come from each shard's staged executor's real per-stage
         timings (bytes masked, MACs run) on that shard's persistent
         enclave/GPU timeline.
+    adaptive:
+        When set, each shard's flush deadline is *learned* (EWMA of
+        inter-arrival gaps, steered by fill-ratio feedback, floored by
+        the measured per-batch enclave occupancy) and the virtual-batch
+        size is clamped to what fits the enclave's EPC budget
+        (:mod:`repro.serving.adaptive`).  ``None`` — the default — keeps
+        the static ``max_batch_wait``/``virtual_batch_size`` knobs and a
+        flush path bit-identical to previous releases.
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -105,6 +119,7 @@ class ServingConfig:
     encrypt_requests: bool = True
     stage_costs: StageCostModel | None = None
     code_identity: str = DEFAULT_CODE_IDENTITY
+    adaptive: AdaptiveBatchingConfig | None = None
 
 
 @dataclass
@@ -119,6 +134,8 @@ class ServingReport:
     shards: int = 1
     failovers: int = 0
     migrations: int = 0
+    #: Per-shard learned-policy telemetry (None entries = static shards).
+    adaptive: list | None = None
 
     @property
     def completed(self) -> list[RequestOutcome]:
@@ -138,6 +155,17 @@ class ServingReport:
             f" {self.failovers} failovers,"
             f" {self.migrations} session migrations"
         )
+        learned = [snap for snap in (self.adaptive or []) if snap is not None]
+        if learned:
+            waits = ", ".join(
+                "n/a" if s["current_wait"] is None else f"{s['current_wait'] * 1e3:.2f}ms"
+                for s in learned
+            )
+            lines.append(
+                f"adaptive: K={learned[0]['batch_size']}"
+                f" (base {learned[0]['base_batch_size']}),"
+                f" learned deadline(s) {waits}"
+            )
         return "\n".join(lines)
 
 
@@ -182,7 +210,27 @@ class PrivateInferenceServer:
                 f" got num_shards={dk.num_shards} — provision per-shard"
                 " hardware through DarKnightConfig instead"
             )
+        if self.config.adaptive is not None:
+            # Size K against the EPC budget *before* provisioning: the
+            # enclave encodes (and pads) at the provisioned K, so only a
+            # construction-time clamp actually shrinks the working set.
+            budget = int(
+                (dk.epc_budget_bytes or EPC_USABLE_BYTES)
+                * self.config.adaptive.epc_headroom
+            )
+            fit = epc_fitting_batch_size(
+                dk.virtual_batch_size,
+                estimate_slot_bytes(network),
+                budget,
+                dk.collusion_tolerance,
+                dk.extra_shares,
+                dk.pipeline_depth,
+            )
+            if fit < dk.virtual_batch_size:
+                dk = dataclasses.replace(dk, virtual_batch_size=fit)
         self.link = LinkModel()
+        #: The effective (possibly EPC-clamped) DarKnight parameters.
+        self.darknight = dk
         self.shards = [
             EnclaveShard.provision(
                 shard_id,
@@ -217,17 +265,34 @@ class PrivateInferenceServer:
         ]
         self.queue = self.queues[0]
         batch_size = dk.virtual_batch_size if self.config.coalesce else 1
+        policies = None
+        if self.config.adaptive is not None:
+            policies = build_policies(
+                dk.num_shards,
+                batch_size,
+                self.config.max_batch_wait,
+                self.config.adaptive,
+                network=network,
+                epc_budget_bytes=dk.epc_budget_bytes or EPC_USABLE_BYTES,
+                collusion_tolerance=dk.collusion_tolerance,
+                extra_shares=dk.extra_shares,
+                pipeline_depth=dk.pipeline_depth,
+            )
         self.scheduler = ShardedBatchScheduler(
             self.queues,
             batch_size,
             self.config.max_batch_wait,
             slots=dk.virtual_batch_size,
+            policies=policies,
         )
         self.pool = InferenceWorkerPool(
             n_workers=self.config.n_workers,
             shards=self.shards,
             router=self.router,
             sessions=self.sessions,
+            on_feedback=(
+                self.scheduler.observe_feedback if policies is not None else None
+            ),
         )
         self.metrics = ServerMetrics()
         self._outcomes: list[RequestOutcome] = []
@@ -311,8 +376,9 @@ class PrivateInferenceServer:
                     f" {request.request_id} from {request.tenant!r}"
                 )
             self.queues[shard_id].push(request)
+            self.scheduler.observe_arrival(shard_id, now)
         except BackpressureError as exc:
-            self.metrics.record_shed(event.tenant, now)
+            self.metrics.record_shed(event.tenant)
             self._outcomes.append(
                 RequestOutcome(
                     request_id=request.request_id,
@@ -359,4 +425,5 @@ class PrivateInferenceServer:
             shards=len(self.shards),
             failovers=self.pool.failovers,
             migrations=self.sessions.migrations,
+            adaptive=self.scheduler.policy_snapshots(),
         )

@@ -84,6 +84,110 @@ def synthetic_trace(
     ]
 
 
+def bursty_trace(
+    n_requests: int,
+    input_shape: tuple[int, ...],
+    n_tenants: int = 4,
+    burst_size: int = 10,
+    intra_gap: float = 2e-4,
+    burst_gap: float = 5e-2,
+    seed: int | None = 0,
+) -> list[TraceRequest]:
+    """Generate an on/off bursty trace (the adaptive-deadline stressor).
+
+    Requests arrive in bursts of ``burst_size`` spaced ``intra_gap``
+    apart, with ``burst_gap`` of silence between bursts — the regime
+    where a fixed flush deadline is wrong twice over: too loose for the
+    stragglers at a burst's tail (they idle out the full deadline) and
+    irrelevant mid-burst (size triggers fire first).
+
+    Parameters
+    ----------
+    n_requests / input_shape / n_tenants / seed:
+        As for :func:`synthetic_trace`.
+    burst_size:
+        Arrivals per burst.
+    intra_gap:
+        Gap between consecutive arrivals inside a burst (jittered ±20%).
+    burst_gap:
+        Silence between the last arrival of one burst and the first of
+        the next.
+    """
+    if n_requests < 1:
+        raise ConfigurationError(f"trace needs >= 1 requests, got {n_requests}")
+    if n_tenants < 1:
+        raise ConfigurationError(f"trace needs >= 1 tenants, got {n_tenants}")
+    if burst_size < 1:
+        raise ConfigurationError(f"burst size must be >= 1, got {burst_size}")
+    if intra_gap <= 0 or burst_gap <= 0:
+        raise ConfigurationError(
+            f"gaps must be > 0, got intra={intra_gap} burst={burst_gap}"
+        )
+    rng = np.random.default_rng(seed)
+    tenants = [f"tenant{i}" for i in range(n_tenants)]
+    picks = rng.integers(0, n_tenants, size=n_requests)
+    times = []
+    t = 0.0
+    for i in range(n_requests):
+        if i > 0:
+            at_burst_boundary = i % burst_size == 0
+            gap = burst_gap if at_burst_boundary else intra_gap
+            t += float(gap * rng.uniform(0.8, 1.2))
+        times.append(t)
+    return [
+        TraceRequest(
+            time=times[i],
+            tenant=tenants[int(picks[i])],
+            x=rng.normal(size=input_shape),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def ramping_trace(
+    n_requests: int,
+    input_shape: tuple[int, ...],
+    n_tenants: int = 4,
+    start_interarrival: float = 1e-2,
+    end_interarrival: float = 2e-4,
+    seed: int | None = 0,
+) -> list[TraceRequest]:
+    """Generate a trace whose offered load ramps between two rates.
+
+    The mean inter-arrival gap interpolates log-linearly from
+    ``start_interarrival`` to ``end_interarrival`` across the trace, so
+    an adaptive deadline must keep re-learning the arrival process
+    instead of converging once.
+    """
+    if n_requests < 1:
+        raise ConfigurationError(f"trace needs >= 1 requests, got {n_requests}")
+    if n_tenants < 1:
+        raise ConfigurationError(f"trace needs >= 1 tenants, got {n_tenants}")
+    if start_interarrival <= 0 or end_interarrival <= 0:
+        raise ConfigurationError(
+            "interarrival bounds must be > 0, got"
+            f" start={start_interarrival} end={end_interarrival}"
+        )
+    rng = np.random.default_rng(seed)
+    tenants = [f"tenant{i}" for i in range(n_tenants)]
+    picks = rng.integers(0, n_tenants, size=n_requests)
+    fractions = np.linspace(0.0, 1.0, num=n_requests)
+    means = np.exp(
+        (1.0 - fractions) * np.log(start_interarrival)
+        + fractions * np.log(end_interarrival)
+    )
+    gaps = rng.exponential(means)
+    times = np.cumsum(gaps)
+    return [
+        TraceRequest(
+            time=float(times[i]),
+            tenant=tenants[int(picks[i])],
+            x=rng.normal(size=input_shape),
+        )
+        for i in range(n_requests)
+    ]
+
+
 def trace_from_arrays(
     x: np.ndarray,
     tenants: list[str] | None = None,

@@ -35,6 +35,7 @@ from repro.errors import (
     ShardFailedError,
 )
 from repro.runtime.inference import PrivateInferenceEngine
+from repro.serving.adaptive import WindowFeedback
 from repro.serving.requests import (
     STATUS_DECODE_FAILED,
     STATUS_INTEGRITY_FAILED,
@@ -66,6 +67,11 @@ class InferenceWorkerPool:
     sessions:
         The :class:`~repro.serving.session.ShardedSessionManager` whose
         sessions must migrate on shard failure.
+    on_feedback:
+        Optional callback receiving one
+        :class:`~repro.serving.adaptive.WindowFeedback` per successfully
+        dispatched per-shard window — the timing feedback loop the
+        adaptive flush policy learns from.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class InferenceWorkerPool:
         shards: list[EnclaveShard] | None = None,
         router=None,
         sessions=None,
+        on_feedback=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
@@ -87,6 +94,7 @@ class InferenceWorkerPool:
         self.shards = {shard.shard_id: shard for shard in shards}
         self.router = router
         self.sessions = sessions
+        self.on_feedback = on_feedback
         self._n_workers = n_workers
         self.batches_run = 0
         #: Enclave-occupied simulated seconds summed over all shards.
@@ -134,11 +142,19 @@ class InferenceWorkerPool:
             (np.stack([req.x for req in batch.requests]), batch.flush_time)
             for batch in batches
         ]
+        busy_before = shard.timeline.busy_time
         try:
             groups, stats = shard.run_window(items)
         except ShardFailedError as exc:
             return self._fail_over(shard, batches, exc)
         except (IntegrityError, DecodingError) as exc:
+            # The aborted run still occupied the enclave up to the failure
+            # point; charge that occupancy to the pool (and the shard) no
+            # matter how many batches shared the window — the isolating
+            # single-batch re-runs below account only their *own* time.
+            aborted_busy = shard.timeline.busy_time - busy_before
+            self.busy_time += aborted_busy
+            shard.busy_time += aborted_busy
             if len(batches) > 1:
                 # One bad batch aborted the shared schedule; isolate it by
                 # running every batch in its own single-batch window.
@@ -150,13 +166,25 @@ class InferenceWorkerPool:
                 if isinstance(exc, IntegrityError)
                 else STATUS_DECODE_FAILED
             )
-            # The aborted run still occupied the enclave up to the
-            # failure point; charge it up to the clock's frontier.
+            # Completion falls back to the clock's failure frontier.
             fallback = max(shard.timeline.free_at, batches[0].flush_time)
             self.batches_run += 1
             return self._outcomes(batches[0], None, status, str(exc), fallback)
         self._account(stats)
         self.batches_run += len(batches)
+        if self.on_feedback is not None:
+            self.on_feedback(
+                WindowFeedback(
+                    shard_id=shard_id,
+                    n_batches=len(batches),
+                    enclave_busy=stats.enclave_busy,
+                    makespan=stats.makespan,
+                    stage_totals=dict(stats.stage_totals),
+                    slot_bytes_observed=max(
+                        int(x.nbytes // max(1, x.shape[0])) for x, _ in items
+                    ),
+                )
+            )
         return [
             o
             for batch, group in zip(batches, groups)
@@ -207,9 +235,13 @@ class InferenceWorkerPool:
                     self._outcomes(batch, None, STATUS_SHARD_FAILED, str(outage), fallback)
                 )
                 continue
-            if batch.retries >= len(self.shards):
+            survivors = sum(1 for s in self.shards.values() if s.healthy)
+            if batch.retries > survivors:
                 # Cascade cap: a batch cannot meaningfully retry more
-                # times than there are shards to die under it.
+                # times than there are *surviving* shards to die under it
+                # — counting already-dead shards (the old
+                # ``len(self.shards)`` bound) let a batch burn retries on
+                # targets that no longer exist.
                 outcomes.extend(
                     self._outcomes(
                         batch,

@@ -74,7 +74,12 @@ class ShardRouter:
         self._pins: dict[str, int] = {}
         self._load = [0] * n_shards
         self._failed: set[int] = set()
+        #: New tenants diverted off their ring candidate by load skew.
         self.rebalanced = 0
+        #: Tenants re-pinned because their shard failed.  Kept separate
+        #: from ``rebalanced`` so telemetry distinguishes load diversions
+        #: from failure migrations.
+        self.failover_repins = 0
 
     # ------------------------------------------------------------------
     # placement
@@ -106,11 +111,21 @@ class ShardRouter:
         pinned = self._pins.get(tenant)
         if pinned is not None and pinned not in self._failed:
             return pinned
+        return self._place(tenant, count_as_rebalance=True)
+
+    def _place(self, tenant: str, count_as_rebalance: bool) -> int:
+        """Hash-then-balance placement shared by admission and failover.
+
+        Only organic admissions count load diversions in ``rebalanced``;
+        failover re-pins are accounted in ``failover_repins`` by
+        :meth:`fail_shard` so the two telemetry streams stay disjoint.
+        """
         candidate = self.ring_candidate(tenant)
         lightest = min(self.healthy_shards(), key=lambda s: (self._load[s], s))
         if self._load[candidate] - self._load[lightest] >= self.rebalance_margin:
             candidate = lightest
-            self.rebalanced += 1
+            if count_as_rebalance:
+                self.rebalanced += 1
         self._pins[tenant] = candidate
         self._load[candidate] += 1
         return candidate
@@ -137,7 +152,12 @@ class ShardRouter:
             # Nothing left to re-pin onto; tenants stay unpinned and the
             # next routing attempt surfaces the outage.
             return {}
-        return {tenant: self.shard_for(tenant) for tenant in displaced}
+        remap = {
+            tenant: self._place(tenant, count_as_rebalance=False)
+            for tenant in displaced
+        }
+        self.failover_repins += len(remap)
+        return remap
 
     def is_failed(self, shard_id: int) -> bool:
         """True when the shard has been removed from rotation."""

@@ -23,7 +23,7 @@ import dataclasses
 import numpy as np
 
 from repro.comm import LinkModel
-from repro.enclave import Enclave
+from repro.enclave import Enclave, EpcModel
 from repro.errors import ShardFailedError
 from repro.gpu import GpuCluster
 from repro.pipeline.timing import StageCostModel
@@ -75,7 +75,12 @@ class EnclaveShard:
         """
         seed = None if config.seed is None else config.seed + shard_id
         shard_config = dataclasses.replace(config, seed=seed)
-        enclave = enclave or Enclave(code_identity=code_identity, seed=seed)
+        epc = (
+            EpcModel(usable_bytes=config.epc_budget_bytes)
+            if config.epc_budget_bytes is not None
+            else None
+        )
+        enclave = enclave or Enclave(code_identity=code_identity, seed=seed, epc=epc)
         backend = DarKnightBackend(
             shard_config, enclave=enclave, cluster=cluster, link=link
         )

@@ -57,7 +57,7 @@ def test_failures_and_shed_are_counted_not_completed():
             arrival_time=0.0,
         )
     )
-    metrics.record_shed("b", now=0.5)
+    metrics.record_shed("b")
     snap = metrics.snapshot()
     assert snap["completed"] == 1
     assert snap["integrity_failures"] == 1
@@ -80,3 +80,63 @@ def test_empty_metrics_do_not_crash():
     assert metrics.throughput == 0.0
     assert math.isnan(metrics.latency_percentile(50))
     assert metrics.batch_fill_ratio == 0.0
+
+
+def test_degenerate_span_reports_zero_not_infinity():
+    """Regression: one instantaneous completion used to yield inf req/s."""
+    metrics = ServerMetrics()
+    metrics.record_outcome(_ok(0, "a", arrival=1.0, completion=1.0))
+    assert metrics.throughput == 0.0
+    assert math.isfinite(metrics.snapshot()["throughput_rps"])
+
+
+def test_shed_and_failed_arrivals_do_not_stretch_the_span():
+    """Regression: a shed (or failed) arrival long before the first
+    completed request used to move the span start, deflating throughput
+    on mixed traces."""
+    from repro.serving.requests import STATUS_SHARD_FAILED
+
+    clean = ServerMetrics()
+    mixed = ServerMetrics()
+    # Noise at t=0 that produced no served response...
+    mixed.record_shed("noisy")
+    mixed.record_outcome(
+        RequestOutcome(
+            request_id=99,
+            tenant="noisy",
+            status=STATUS_INTEGRITY_FAILED,
+            arrival_time=0.0,
+        )
+    )
+    mixed.record_outcome(
+        RequestOutcome(
+            request_id=98,
+            tenant="noisy",
+            status=STATUS_SHARD_FAILED,
+            arrival_time=0.0,
+        )
+    )
+    # ...then identical completed traffic starting at t=100.
+    for m in (clean, mixed):
+        for i in range(10):
+            m.record_outcome(_ok(i, "a", arrival=100.0 + i, completion=100.5 + i))
+    assert mixed.throughput == clean.throughput
+    assert math.isclose(clean.throughput, 10 / 9.5)
+
+
+def test_snapshot_is_strict_json_everywhere():
+    """No Infinity/NaN may reach benchmark JSON artifacts, and an empty
+    snapshot still renders."""
+    import json
+
+    def _reject(_):
+        raise AssertionError("non-finite constant leaked into snapshot JSON")
+
+    empty = ServerMetrics()
+    json.loads(json.dumps(empty.snapshot()), parse_constant=_reject)
+    assert empty.snapshot()["latency_p99"] is None
+    assert "n/a" in empty.render()
+
+    busy = ServerMetrics()
+    busy.record_outcome(_ok(0, "a", arrival=2.0, completion=2.0))  # zero span
+    json.loads(json.dumps(busy.snapshot()), parse_constant=_reject)

@@ -75,3 +75,36 @@ def test_oldest_enqueue_time_tracks_heads():
 def test_invalid_capacity_rejected():
     with pytest.raises(ConfigurationError):
         RequestQueue(capacity=0)
+
+
+def test_new_tenant_mid_rotation_cannot_jump_the_turn_order():
+    """Regression: the old integer cursor re-mapped onto a grown tenant
+    list, letting a brand-new tenant serve ahead of tenants already
+    waiting their turn (and double-serving others)."""
+    q = RequestQueue(capacity=32)
+    for tenant in ("a", "b"):
+        for i in range(3):
+            q.push(_req(i, tenant=tenant))
+    assert [r.tenant for r in q.pop_fair(2)] == ["a", "b"]
+    # A third tenant arrives mid-rotation: it must queue *behind* the
+    # rotation, not hijack the next slot.
+    q.push(_req(9, tenant="c"))
+    assert [r.tenant for r in q.pop_fair(3)] == ["a", "b", "c"]
+
+
+def test_idle_tenants_are_pruned_from_the_rotation():
+    """A tenant that drained leaves the rotation entirely and re-enters
+    at the back when it next pushes — it cannot hold a phantom turn."""
+    q = RequestQueue(capacity=32)
+    for i in range(4):
+        q.push(_req(i, tenant="a"))
+    q.push(_req(10, tenant="b"))
+    assert [r.tenant for r in q.pop_fair(2)] == ["a", "b"]
+    # b is drained: only a serves, without phantom-b rotation stalls.
+    assert [r.tenant for r in q.pop_fair(2)] == ["a", "a"]
+    # b returns and waits one a-turn, exactly as a fresh tenant would.
+    q.push(_req(11, tenant="b"))
+    assert [r.tenant for r in q.pop_fair(2)] == ["a", "b"]
+    assert q.depth == 0
+    # The seen-tenant listing (first-arrival order) is unaffected.
+    assert q.tenants == ["a", "b"]

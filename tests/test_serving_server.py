@@ -249,6 +249,58 @@ def test_window_abort_retries_batches_individually():
     engine.backend.assert_encodings_released()
 
 
+def test_aborted_window_occupancy_is_charged_to_busy_time():
+    """Regression: a multi-batch window aborted by an integrity fault
+    used to drop the aborted attempt's enclave occupancy from
+    ``busy_time`` — the pool's accounting must cover *all* timeline
+    occupancy, aborted attempts included."""
+    import pytest
+
+    from repro.runtime.darknight import DarKnightBackend
+    from repro.runtime.inference import PrivateInferenceEngine
+    from repro.serving import InferenceWorkerPool, PendingRequest, ScheduledBatch
+
+    net = _tiny_net()
+    dk = DarKnightConfig(
+        virtual_batch_size=2, integrity=True, seed=12, pipeline_depth=2
+    )
+    field = PrimeField()
+    cluster = GpuCluster(
+        field, dk.n_gpus_required, fault_injectors={0: _TransientTamper(field)}
+    )
+    engine = PrivateInferenceEngine(
+        net, backend=DarKnightBackend(dk, cluster=cluster)
+    )
+    pool = InferenceWorkerPool(engine)
+    rng = np.random.default_rng(13)
+    batches = [
+        ScheduledBatch(
+            batch_id=b,
+            requests=[
+                PendingRequest(
+                    request_id=2 * b + i,
+                    tenant=f"tenant{i}",
+                    x=rng.normal(size=16),
+                    arrival_time=0.0,
+                    enqueue_time=0.0,
+                )
+                for i in range(2)
+            ],
+            flush_time=0.0,
+            trigger="drain",
+            slots=2,
+        )
+        for b in range(3)
+    ]
+    outcomes = pool.dispatch_window(batches)
+    assert all(o.ok for o in outcomes)
+    shard = pool.shards[0]
+    # Everything the enclave timeline was ever occupied with — the
+    # aborted shared window plus the isolating re-runs — is accounted.
+    assert pool.busy_time == pytest.approx(shard.engine.timeline.busy_time)
+    assert pool.busy_time == pytest.approx(shard.busy_time)
+
+
 def test_report_renders_metrics_and_session_facts():
     net = _tiny_net()
     trace = synthetic_trace(8, (16,), n_tenants=2, seed=9)

@@ -311,6 +311,77 @@ def test_retries_release_after_the_failure_frontier():
     assert all(o.dispatch_time >= frontier for o in retried)
 
 
+def test_retry_cap_counts_surviving_shards_only():
+    """Regression: the cascade cap used ``len(self.shards)`` (dead ones
+    included), letting a much-retried batch keep bouncing long after the
+    fleet shrank.  The cap must track survivors — while still always
+    allowing the last survivor one honest attempt."""
+    from repro.serving import (
+        STATUS_SHARD_FAILED,
+        InferenceWorkerPool,
+        PendingRequest,
+        ScheduledBatch,
+    )
+    from repro.sharding import EnclaveShard
+
+    def _batch(retries):
+        rng = np.random.default_rng(3)
+        return ScheduledBatch(
+            batch_id=1,
+            requests=[
+                PendingRequest(
+                    request_id=0, tenant="t0", x=rng.normal(size=16),
+                    arrival_time=0.0, enqueue_time=0.0,
+                )
+            ],
+            flush_time=0.0,
+            trigger="size",
+            slots=2,
+            shard_id=0,
+            retries=retries,
+        )
+
+    dk = DarKnightConfig(virtual_batch_size=2, seed=0)
+    shards = [EnclaveShard.provision(i, _tiny_net(), dk) for i in range(3)]
+    pool = InferenceWorkerPool(shards=shards)
+    shards[0].kill()
+    shards[1].kill()
+
+    # retries already exceed the single survivor: capped, not bounced.
+    (capped,) = pool.dispatch_window([_batch(retries=2)])
+    assert capped.status == STATUS_SHARD_FAILED
+    assert "exhausted" in capped.error
+
+    # At the cap boundary the last survivor still gets its attempt.
+    (served,) = pool.dispatch_window([_batch(retries=1)])
+    assert served.ok
+    assert shards[2].batches_run == 1
+
+
+def test_failover_repins_do_not_inflate_the_rebalance_counter():
+    """Regression: failure migrations used to route through ``shard_for``
+    and count as load rebalances, making router telemetry conflate two
+    very different events."""
+    from repro.sharding import ShardRouter
+
+    router = ShardRouter(3, rebalance_margin=1)
+    for i in range(12):
+        router.shard_for(f"tenant{i}")
+    organic = router.rebalanced
+    displaced = [t for t, s in router.pins().items() if s == 1]
+    assert displaced
+    remap = router.fail_shard(1)
+    assert sorted(remap) == sorted(displaced)
+    # Every displaced tenant is a failover re-pin; none is a rebalance.
+    assert router.failover_repins == len(displaced)
+    assert router.rebalanced == organic
+    # Organic placements afterwards count as rebalances again.
+    for i in range(12, 24):
+        router.shard_for(f"tenant{i}")
+    assert router.failover_repins == len(displaced)
+    assert router.rebalanced >= organic
+
+
 def test_injected_hardware_requires_single_shard():
     from repro.fieldmath import PrimeField
     from repro.gpu import GpuCluster
