@@ -152,6 +152,24 @@ def _serve_parser() -> argparse.ArgumentParser:
              " (1 = synchronous; >= 2 overlaps enclave encode with GPU compute)",
     )
     parser.add_argument(
+        "--slo-budget", action="append", default=None, metavar="CLASS=MS",
+        help="define an SLO class with an end-to-end latency budget in"
+             " milliseconds (repeatable, e.g. --slo-budget premium=5);"
+             " tighter budgets get higher admission priority",
+    )
+    parser.add_argument(
+        "--slo-class", action="append", default=None, metavar="TENANT=CLASS",
+        help="assign a tenant to an SLO class defined with --slo-budget"
+             " (repeatable, e.g. --slo-class tenant0=premium); unassigned"
+             " tenants keep the budget-less default class",
+    )
+    parser.add_argument(
+        "--stage-ranker", default="earliest", choices=["earliest", "deadline"],
+        help="pipeline executor task-selection policy: 'earliest' (classic"
+             " earliest-start/decode-first) or 'deadline' (tightest remaining"
+             " SLO budget first); decoded values are bit-identical either way",
+    )
+    parser.add_argument(
         "--num-shards", type=int, default=1,
         help="enclave shards tenants are partitioned across (each shard is"
              " its own enclave + GPU cluster on a parallel timeline)",
@@ -189,6 +207,41 @@ def run_serve(argv: list[str]) -> int:
         return 2
 
 
+def _parse_kv_flags(pairs: list[str] | None, flag: str) -> dict[str, str]:
+    """Parse repeated ``key=value`` flag occurrences into a dict."""
+    from repro.errors import ConfigurationError
+
+    out: dict[str, str] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key or not value:
+            raise ConfigurationError(
+                f"{flag} expects key=value, got {pair!r}"
+            )
+        out[key] = value
+    return out
+
+
+def _build_slo(args):
+    """Build the SLO policy from --slo-budget / --slo-class flags."""
+    from repro.errors import ConfigurationError
+    from repro.serving import build_slo_policy
+
+    if args.slo_budget is None and args.slo_class is None:
+        return None
+    budgets = {}
+    for name, ms in _parse_kv_flags(args.slo_budget, "--slo-budget").items():
+        try:
+            budgets[name] = float(ms) / 1e3
+        except ValueError:
+            raise ConfigurationError(
+                f"--slo-budget {name}={ms!r}: budget must be a number of"
+                " milliseconds"
+            ) from None
+    assignments = _parse_kv_flags(args.slo_class, "--slo-class")
+    return build_slo_policy(budgets, assignments)
+
+
 def _serve(args) -> int:
     from repro.errors import ConfigurationError
     from repro.runtime.config import DarKnightConfig
@@ -212,10 +265,17 @@ def _serve(args) -> int:
         raise ConfigurationError(
             "--epc-budget only applies with --adaptive-batching"
         )
+    slo = _build_slo(args)
+    if slo is None and args.stage_ranker == "deadline":
+        raise ConfigurationError(
+            "--stage-ranker deadline needs SLO budgets to rank on"
+            " (add --slo-budget class=ms)"
+        )
     dk = DarKnightConfig(
         virtual_batch_size=args.virtual_batch,
         integrity=args.integrity,
         pipeline_depth=args.pipeline_depth,
+        stage_ranker=args.stage_ranker,
         num_shards=args.num_shards,
         epc_budget_bytes=args.epc_budget,
         seed=args.seed,
@@ -243,6 +303,7 @@ def _serve(args) -> int:
         n_workers=args.workers,
         coalesce=not args.per_request,
         adaptive=adaptive,
+        slo=slo,
     )
     trace = synthetic_trace(
         n_requests=args.requests,
@@ -268,6 +329,18 @@ def _serve(args) -> int:
         f" pipeline depth {args.pipeline_depth},"
         f" {args.num_shards} shard(s))"
     )
+    if slo is not None:
+        classes = ", ".join(
+            f"{row['name']}"
+            + (
+                f"={row['latency_budget'] * 1e3:.1f}ms"
+                if row["latency_budget"] is not None
+                else " (no budget)"
+            )
+            + (f" <- {', '.join(row['tenants'])}" if row["tenants"] else "")
+            for row in slo.class_table()
+        )
+        print(f"SLO classes ({args.stage_ranker} ranker): {classes}")
     print(report.render())
     return 0
 

@@ -19,6 +19,13 @@ The two answer different questions and deliberately do not share state.
 """
 
 from repro.pipeline.executor import GroupResult, PipelineExecutor, PipelineResult
+from repro.pipeline.ranker import (
+    STAGE_RANKERS,
+    DeadlineAwareRanker,
+    EarliestStartRanker,
+    StageRanker,
+    build_ranker,
+)
 from repro.pipeline.stages import (
     EncodeTicket,
     GpuFuture,
@@ -32,6 +39,11 @@ __all__ = [
     "PipelineExecutor",
     "PipelineResult",
     "GroupResult",
+    "StageRanker",
+    "EarliestStartRanker",
+    "DeadlineAwareRanker",
+    "STAGE_RANKERS",
+    "build_ranker",
     "StagedLinearOp",
     "EncodeTicket",
     "GpuFuture",

@@ -8,11 +8,14 @@ the enclave encodes job ``n+1``'s next layer (or decodes whichever future
 completed first), so enclave and accelerator time overlap instead of
 serializing.
 
-Scheduling policy: among all runnable enclave tasks, run the one that can
-start earliest on the simulated clock; ties break toward decodes (freeing
-GPU results keeps the pipe draining) and then toward older jobs.  With
-``pipeline_depth=1`` exactly one job is in flight and the schedule collapses
-to the classic synchronous order.
+Scheduling policy: pluggable (:mod:`repro.pipeline.ranker`).  The default
+:class:`~repro.pipeline.ranker.EarliestStartRanker` runs, among all
+runnable enclave tasks, the one that can start earliest on the simulated
+clock; ties break toward decodes (freeing GPU results keeps the pipe
+draining) and then toward older jobs.  The deadline-aware ranker instead
+runs the job carrying the tightest remaining SLO deadline first.  With
+``pipeline_depth=1`` exactly one job is in flight and every ranker
+collapses to the classic synchronous order.
 
 Real values and simulated time are deliberately decoupled: kernels execute
 eagerly in program order, but every stage *reserves* simulated intervals on
@@ -24,6 +27,7 @@ path by construction (and asserted in the tests).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +35,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.masking import iter_virtual_batches
 from repro.masking.virtual_batch import VirtualBatch
+from repro.pipeline.ranker import EarliestStartRanker, StageRanker
 from repro.pipeline.stages import GpuFuture, PipelineStats, StagedLinearOp, StageSpan
 from repro.pipeline.timing import DEFAULT_STAGE_COSTS, EnclaveTimeline, StageCostModel
 
@@ -46,6 +51,7 @@ class _Job:
     step_idx: int = 0  #: Next execution-plan step to run.
     ready_at: float = 0.0  #: When the activation became available.
     future: GpuFuture | None = None  #: Set while shares are on the GPUs.
+    deadline: float = math.inf  #: Tightest SLO deadline in the job's group.
 
     def padded(self, k: int) -> VirtualBatch:
         """Re-pad the activation to a full ``K``-slot virtual batch."""
@@ -96,6 +102,10 @@ class PipelineExecutor:
         The enclave's serialized clock.  Pass a shared instance to overlap
         consecutive engine batches (the serving pool does); defaults to a
         fresh clock at zero.
+    ranker:
+        The stage-scheduling policy (:mod:`repro.pipeline.ranker`).
+        Defaults to :class:`~repro.pipeline.ranker.EarliestStartRanker`,
+        the pre-refactor order; every ranker is bit-identical in values.
     """
 
     def __init__(
@@ -105,6 +115,7 @@ class PipelineExecutor:
         pipeline_depth: int = 1,
         costs: StageCostModel | None = None,
         timeline: EnclaveTimeline | None = None,
+        ranker: StageRanker | None = None,
     ) -> None:
         if pipeline_depth < 1:
             raise ConfigurationError(
@@ -121,6 +132,7 @@ class PipelineExecutor:
         self.pipeline_depth = pipeline_depth
         self.costs = costs or DEFAULT_STAGE_COSTS
         self.timeline = timeline or EnclaveTimeline()
+        self.ranker = ranker or EarliestStartRanker()
 
     # ------------------------------------------------------------------
     # plan preparation
@@ -161,24 +173,28 @@ class PipelineExecutor:
         return PipelineResult(output=groups[0].output, stats=stats)
 
     def run_grouped(
-        self, items: list[tuple[np.ndarray, float]]
+        self, items: list[tuple]
     ) -> tuple[list[GroupResult], PipelineStats]:
         """Pipeline several input groups through one event loop.
 
-        Each item is ``(batch, release_time)``; a group's rows split into
-        virtual batches (jobs) released at the group's time.  All jobs —
-        across groups — share the in-flight window, so the enclave encodes
-        group ``n+1``'s first layer while group ``n``'s shares are still on
-        the GPUs: this is the serving pool's cross-batch overlap.  Returns
-        per-group outputs with their own start/finish times, plus the
-        window-wide stats.
+        Each item is ``(batch, release_time)`` or ``(batch, release_time,
+        deadline)``; a group's rows split into virtual batches (jobs)
+        released at the group's time and carrying the group's SLO
+        deadline (``inf`` when omitted — only the deadline-aware ranker
+        reads it).  All jobs — across groups — share the in-flight
+        window, so the enclave encodes group ``n+1``'s first layer while
+        group ``n``'s shares are still on the GPUs: this is the serving
+        pool's cross-batch overlap.  Returns per-group outputs with their
+        own start/finish times, plus the window-wide stats.
         """
         k = self.backend.config.virtual_batch_size
         plan = self.network.execution_plan()
         ops = self._stage_ops()
         jobs: list[_Job] = []
         group_of: dict[int, int] = {}
-        for g, (x, release_time) in enumerate(items):
+        for g, item in enumerate(items):
+            x, release_time = item[0], item[1]
+            deadline = item[2] if len(item) > 2 else math.inf
             for vb in iter_virtual_batches(x, k):
                 job = _Job(
                     index=len(jobs),
@@ -186,6 +202,7 @@ class PipelineExecutor:
                     n_real=vb.n_real,
                     activation=vb.data[: vb.n_real],
                     ready_at=release_time,
+                    deadline=deadline,
                 )
                 group_of[job.index] = g
                 jobs.append(job)
@@ -212,7 +229,7 @@ class PipelineExecutor:
                 outputs[job.index] = job.activation
                 active.remove(job)
 
-        first_release = min((release for _, release in items), default=0.0)
+        first_release = min((item[1] for item in items), default=0.0)
         stats = PipelineStats(
             start=min((s.start for s in spans), default=first_release),
             finish=max((s.end for s in spans), default=first_release),
@@ -223,7 +240,8 @@ class PipelineExecutor:
             spans=spans,
         )
         groups: list[GroupResult] = []
-        for g, (_, release_time) in enumerate(items):
+        for g, item in enumerate(items):
+            release_time = item[1]
             members = [j for j in range(len(jobs)) if group_of[j] == g]
             group_spans = [s for s in spans if group_of[s.job] == g]
             groups.append(
@@ -238,12 +256,10 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     # task selection and execution
     # ------------------------------------------------------------------
-    def _task_rank(self, job: _Job) -> tuple[float, int, int]:
-        """Order enclave candidates: earliest feasible start, decodes first,
-        then oldest job — deterministic, so schedules are reproducible."""
-        if job.future is not None:
-            return (max(self.timeline.free_at, job.future.ready_at), 0, job.index)
-        return (max(self.timeline.free_at, job.ready_at), 1, job.index)
+    def _task_rank(self, job: _Job) -> tuple:
+        """Order enclave candidates through the pluggable ranker —
+        deterministic keys, so schedules are reproducible."""
+        return self.ranker.rank(job, self.timeline)
 
     def _account(
         self,

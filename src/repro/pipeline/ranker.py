@@ -1,0 +1,96 @@
+"""Pluggable stage-scheduling policies for the pipeline executor.
+
+The executor's event loop repeatedly asks one question: *of every
+in-flight job, whose next enclave task runs now?*  That policy used to be
+a hardcoded method; it is now a :class:`StageRanker` object so serving
+deployments can swap it without touching the event loop — the ROADMAP's
+"pluggable stage schedulers" follow-on.
+
+Two rankers ship:
+
+* :class:`EarliestStartRanker` — the classic order: earliest feasible
+  start on the simulated clock, decodes before encodes on ties (freeing
+  GPU results keeps the pipe draining), then oldest job.  This is
+  bit-and-schedule-identical to the pre-refactor executor.
+* :class:`DeadlineAwareRanker` — jobs carrying the tightest remaining
+  SLO deadline run first, with the classic order breaking ties.  A
+  window mixing premium and best-effort batches therefore spends the
+  serialized enclave on the premium frontier first.
+
+Schedule order can reorder *time* but never *values*: masking decodes
+exactly, so every ranker produces bit-identical outputs (asserted in the
+tests and in ``benchmarks/bench_slo_classes.py``).  Jobs without a
+deadline carry ``inf``, making the deadline-aware order collapse to the
+classic one — so the default deployment is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class StageRanker:
+    """Orders an executor's runnable jobs; lowest key runs first.
+
+    Subclasses implement :meth:`rank`; keys must be totally ordered and
+    deterministic so schedules are reproducible.
+    """
+
+    #: Registry name (``DarKnightConfig.stage_ranker`` value).
+    name = "base"
+
+    def rank(self, job, timeline) -> tuple:
+        """The job's scheduling key given the enclave ``timeline``."""
+        raise NotImplementedError
+
+
+class EarliestStartRanker(StageRanker):
+    """Earliest feasible start, decodes first, then oldest job."""
+
+    name = "earliest"
+
+    def rank(self, job, timeline) -> tuple:
+        if job.future is not None:
+            return (max(timeline.free_at, job.future.ready_at), 0, job.index)
+        return (max(timeline.free_at, job.ready_at), 1, job.index)
+
+
+class DeadlineAwareRanker(EarliestStartRanker):
+    """Among equally-early tasks, tightest remaining deadline first.
+
+    A job's ``deadline`` is the minimum remaining SLO budget across the
+    requests in its batch (``inf`` when none carries a contract), set by
+    the serving worker pool when it dispatches a flush window.
+
+    Feasibility stays the primary key: every task runnable *now*
+    collapses to the same ``max(free_at, ready_at)`` start, so the
+    deadline decides between them — but a tight-deadline job whose next
+    stage is still blocked (shares on the GPUs, release time ahead)
+    never outranks runnable work.  Ranking deadline-first would park the
+    serialized enclave idle until the premium future landed, destroying
+    the encode/compute overlap for everyone without finishing the
+    premium job any sooner.
+    """
+
+    name = "deadline"
+
+    def rank(self, job, timeline) -> tuple:
+        start, kind, index = super().rank(job, timeline)
+        return (start, job.deadline, kind, index)
+
+
+#: Rankers selectable by name through ``DarKnightConfig.stage_ranker``.
+STAGE_RANKERS: dict[str, type[StageRanker]] = {
+    EarliestStartRanker.name: EarliestStartRanker,
+    DeadlineAwareRanker.name: DeadlineAwareRanker,
+}
+
+
+def build_ranker(name: str) -> StageRanker:
+    """Instantiate a registered ranker by name."""
+    cls = STAGE_RANKERS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown stage ranker {name!r} (available: {sorted(STAGE_RANKERS)})"
+        )
+    return cls()

@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.nn import Sequential
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.pipeline.executor import GroupResult, PipelineExecutor
+from repro.pipeline.ranker import build_ranker
 from repro.pipeline.stages import PipelineStats
 from repro.pipeline.timing import EnclaveTimeline, StageCostModel
 from repro.runtime.config import DarKnightConfig
@@ -79,6 +80,7 @@ class PrivateInferenceEngine:
             pipeline_depth=depth,
             costs=stage_costs,
             timeline=self.timeline,
+            ranker=build_ranker(self.backend.config.stage_ranker),
         )
 
     def run_batch(self, x: np.ndarray) -> np.ndarray:
@@ -118,11 +120,13 @@ class PrivateInferenceEngine:
             self.backend.assert_encodings_released()
 
     def run_batch_window(
-        self, items: list[tuple[np.ndarray, float]]
+        self, items: list[tuple]
     ) -> tuple[list[GroupResult], PipelineStats]:
         """Pipeline a *window* of batches through one executor event loop.
 
-        ``items`` is ``(batch, release_time)`` per scheduled batch.  This
+        ``items`` is ``(batch, release_time)`` — optionally ``(batch,
+        release_time, deadline)`` for SLO-ranked windows — per scheduled
+        batch.  This
         is where cross-batch overlap actually happens: the enclave encodes
         batch ``n+1``'s first layer while batch ``n``'s shares are still on
         the GPUs.  Returns one :class:`~repro.pipeline.executor.GroupResult`

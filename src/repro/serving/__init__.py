@@ -32,6 +32,13 @@ from repro.serving.requests import (
 )
 from repro.serving.scheduler import ShardedBatchScheduler, VirtualBatchScheduler
 from repro.serving.server import PrivateInferenceServer, ServingConfig, ServingReport
+from repro.serving.slo import (
+    DEFAULT_SLO_CLASS,
+    FLUSH_BUDGET_FRACTION,
+    SloClass,
+    SloPolicy,
+    build_slo_policy,
+)
 from repro.serving.session import (
     ServingSession,
     SessionManager,
@@ -64,6 +71,11 @@ __all__ = [
     "RequestQueue",
     "VirtualBatchScheduler",
     "ShardedBatchScheduler",
+    "SloClass",
+    "SloPolicy",
+    "DEFAULT_SLO_CLASS",
+    "FLUSH_BUDGET_FRACTION",
+    "build_slo_policy",
     "ServingSession",
     "SessionManager",
     "ShardedSessionManager",

@@ -239,6 +239,11 @@ class AdaptiveFlushPolicy:
         ``config.epc_headroom``).  ``None`` disables the cap.
     collusion_tolerance / extra_shares / pipeline_depth:
         Masking shape facts the working-set model needs.
+    budget_ceiling:
+        Optional extra deadline ceiling from the deployment's SLO policy
+        (the tightest class's flush budget).  The learned wait — and the
+        winsorization bound the inter-arrival EWMA is clipped at — never
+        exceeds it, so adaptation cannot violate a premium contract.
     """
 
     def __init__(
@@ -251,16 +256,23 @@ class AdaptiveFlushPolicy:
         collusion_tolerance: int = 1,
         extra_shares: int = 0,
         pipeline_depth: int = 1,
+        budget_ceiling: float | None = None,
     ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
         if max_wait <= 0:
             raise ConfigurationError(f"max wait must be > 0, got {max_wait}")
+        if budget_ceiling is not None and budget_ceiling <= 0:
+            raise ConfigurationError(
+                f"budget ceiling must be > 0, got {budget_ceiling}"
+            )
         self.config = config or AdaptiveBatchingConfig()
         self.base_batch_size = batch_size
         self.ceiling = (
             self.config.max_wait if self.config.max_wait is not None else max_wait
         )
+        if budget_ceiling is not None:
+            self.ceiling = min(self.ceiling, budget_ceiling)
         self.floor = min(self.config.min_wait, self.ceiling)
         self._collusion = collusion_tolerance
         self._extra = extra_shares
@@ -473,10 +485,18 @@ def build_policies(
     collusion_tolerance: int = 1,
     extra_shares: int = 0,
     pipeline_depth: int = 1,
+    slo=None,
 ) -> list[AdaptiveFlushPolicy]:
-    """One independent policy per shard (shards adapt separately)."""
+    """One independent policy per shard (shards adapt separately).
+
+    ``slo`` (an :class:`~repro.serving.slo.SloPolicy`) clamps every
+    shard's deadline ceiling at the tightest class's flush budget —
+    tenants pin to shards at runtime, so no shard may learn a wait the
+    most demanding class could land on and violate.
+    """
     slot_bytes = estimate_slot_bytes(network) if network is not None else None
     budget = EPC_USABLE_BYTES if epc_budget_bytes is None else epc_budget_bytes
+    budget_ceiling = slo.tightest_flush_budget() if slo is not None else None
     return [
         AdaptiveFlushPolicy(
             batch_size,
@@ -487,6 +507,7 @@ def build_policies(
             collusion_tolerance=collusion_tolerance,
             extra_shares=extra_shares,
             pipeline_depth=pipeline_depth,
+            budget_ceiling=budget_ceiling,
         )
         for _ in range(n_shards)
     ]

@@ -3,6 +3,13 @@
 Collects per-request and per-batch facts during a serving run and renders
 them through :mod:`repro.reporting` so server output lines up with the
 rest of the repo's exhibits.  All times are simulated-clock seconds.
+
+With an :class:`~repro.serving.slo.SloPolicy` attached, the collector
+also keys latency by service class — per-class p50/p99 plus an
+SLO-attainment ratio (the fraction of completed requests that finished
+inside their class's budget) — and splits shed accounting into requests
+refused *at admission* versus pending requests *evicted* to admit
+higher-priority arrivals, so overload telemetry says who actually paid.
 """
 
 from __future__ import annotations
@@ -19,19 +26,40 @@ from repro.serving.requests import (
     RequestOutcome,
     ScheduledBatch,
 )
+from repro.serving.slo import SloPolicy
+
+#: ``record_shed`` kinds: refused at admission vs evicted from the queue.
+SHED_ADMISSION = "admission"
+SHED_EVICTED = "evicted"
 
 
 class ServerMetrics:
-    """Accumulates serving statistics; cheap to query mid-run."""
+    """Accumulates serving statistics; cheap to query mid-run.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    slo:
+        Optional per-tenant class assignment; enables the per-class
+        latency breakdown and attainment ratio.  ``None`` reports the
+        classic aggregate numbers only.
+    """
+
+    def __init__(self, slo: SloPolicy | None = None) -> None:
+        self.slo = slo
         self._latencies: list[float] = []
         self._fill_ratios: list[float] = []
         self._trigger_counts: dict[str, int] = {}
         self._completed_by_tenant: dict[str, int] = {}
         self._shed_by_tenant: dict[str, int] = {}
+        self._latencies_by_class: dict[str, list[float]] = {}
+        self._attained_by_class: dict[str, int] = {}
         self.completed = 0
         self.shed = 0
+        #: ``shed`` split by who paid: the arrival (refused at admission)
+        #: or the backlog (evicted for a higher-priority arrival).  The
+        #: two always sum to ``shed``.
+        self.shed_at_admission = 0
+        self.shed_evicted = 0
         self.integrity_failures = 0
         self.decode_errors = 0
         self.shard_failures = 0
@@ -74,14 +102,33 @@ class ServerMetrics:
             self._completed_by_tenant.get(outcome.tenant, 0) + 1
         )
         self._latencies.append(outcome.latency)
+        if self.slo is not None:
+            cls = self.slo.class_for(outcome.tenant)
+            self._latencies_by_class.setdefault(cls.name, []).append(outcome.latency)
+            if outcome.latency <= cls.latency_budget:
+                self._attained_by_class[cls.name] = (
+                    self._attained_by_class.get(cls.name, 0) + 1
+                )
         if self._first_arrival is None or outcome.arrival_time < self._first_arrival:
             self._first_arrival = outcome.arrival_time
         if self._last_completion is None or outcome.completion_time > self._last_completion:
             self._last_completion = outcome.completion_time
 
-    def record_shed(self, tenant: str) -> None:
-        """Account one request refused by backpressure."""
+    def record_shed(self, tenant: str, kind: str = SHED_ADMISSION) -> None:
+        """Account one request lost to backpressure.
+
+        ``kind`` says who paid for the full queue: :data:`SHED_ADMISSION`
+        (the arrival was refused — the classic, and default, case) or
+        :data:`SHED_EVICTED` (a pending request was evicted to admit a
+        higher-priority arrival).
+        """
+        if kind not in (SHED_ADMISSION, SHED_EVICTED):
+            raise ValueError(f"unknown shed kind {kind!r}")
         self.shed += 1
+        if kind == SHED_EVICTED:
+            self.shed_evicted += 1
+        else:
+            self.shed_at_admission += 1
         self._shed_by_tenant[tenant] = self._shed_by_tenant.get(tenant, 0) + 1
 
     # ------------------------------------------------------------------
@@ -92,6 +139,29 @@ class ServerMetrics:
         if not self._latencies:
             return float("nan")
         return float(np.percentile(self._latencies, p))
+
+    def class_latency_percentile(self, class_name: str, p: float) -> float:
+        """``p``-th latency percentile for one service class (seconds)."""
+        latencies = self._latencies_by_class.get(class_name)
+        if not latencies:
+            return float("nan")
+        return float(np.percentile(latencies, p))
+
+    def slo_attainment(self, class_name: str | None = None) -> float:
+        """Fraction of completed requests that met their class budget.
+
+        ``class_name=None`` aggregates across every class (requests of
+        budget-less classes always attain).  ``nan`` with no completions
+        (or no completions in the named class).
+        """
+        if class_name is not None:
+            total = len(self._latencies_by_class.get(class_name, []))
+            if total == 0:
+                return float("nan")
+            return self._attained_by_class.get(class_name, 0) / total
+        if self.slo is None or self.completed == 0:
+            return float("nan")
+        return sum(self._attained_by_class.values()) / self.completed
 
     @property
     def mean_latency(self) -> float:
@@ -135,13 +205,35 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def _class_snapshot(self) -> dict:
+        """Per-class latency/attainment rows (empty without an SLO policy)."""
+        if self.slo is None:
+            return {}
+
+        def _finite(value: float) -> float | None:
+            value = float(value)
+            return value if math.isfinite(value) else None
+
+        out = {}
+        for name in sorted(self._latencies_by_class):
+            cls = self.slo.classes.get(name)
+            budget = cls.latency_budget if cls is not None else math.inf
+            out[name] = {
+                "completed": len(self._latencies_by_class[name]),
+                "latency_p50": _finite(self.class_latency_percentile(name, 50)),
+                "latency_p99": _finite(self.class_latency_percentile(name, 99)),
+                "latency_budget": budget if math.isfinite(budget) else None,
+                "attainment": _finite(self.slo_attainment(name)),
+            }
+        return out
+
     def snapshot(self) -> dict:
         """All headline numbers as one dict (stable keys for tests/benches).
 
         Strict-JSON-safe: non-finite floats (no completions yet, empty
-        percentiles) are reported as ``None``/``null``, never as the
-        ``Infinity``/``NaN`` literals ``json.dumps`` would otherwise emit
-        into benchmark artifacts.
+        percentiles, infinite budgets) are reported as ``None``/``null``,
+        never as the ``Infinity``/``NaN`` literals ``json.dumps`` would
+        otherwise emit into benchmark artifacts.
         """
 
         def _finite(value: float) -> float | None:
@@ -151,6 +243,8 @@ class ServerMetrics:
         return {
             "completed": self.completed,
             "shed": self.shed,
+            "shed_at_admission": self.shed_at_admission,
+            "shed_evicted": self.shed_evicted,
             "integrity_failures": self.integrity_failures,
             "decode_errors": self.decode_errors,
             "shard_failures": self.shard_failures,
@@ -160,10 +254,12 @@ class ServerMetrics:
             "latency_p50": _finite(self.latency_percentile(50)),
             "latency_p99": _finite(self.latency_percentile(99)),
             "latency_mean": _finite(self.mean_latency),
+            "slo_attainment": _finite(self.slo_attainment()),
+            "slo_classes": self._class_snapshot(),
         }
 
     def render(self, title: str = "Serving metrics") -> str:
-        """ASCII table of the snapshot."""
+        """ASCII table of the snapshot (plus per-class rows under SLO)."""
 
         def _fmt(value: float | None, scale: float = 1.0, digits: int = 2) -> str:
             if value is None:
@@ -184,4 +280,19 @@ class ServerMetrics:
             ["latency p99 (ms)", _fmt(snap["latency_p99"], scale=1e3)],
             ["latency mean (ms)", _fmt(snap["latency_mean"], scale=1e3)],
         ]
+        if snap["slo_classes"]:
+            rows.append(["shed at admission", snap["shed_at_admission"]])
+            rows.append(["evicted by class", snap["shed_evicted"]])
+            rows.append(["SLO attainment", _fmt(snap["slo_attainment"], digits=3)])
+            for name, cls_snap in snap["slo_classes"].items():
+                budget = cls_snap["latency_budget"]
+                budget_txt = "no budget" if budget is None else f"{budget * 1e3:.1f}ms"
+                rows.append(
+                    [
+                        f"  {name} p99 (ms)",
+                        f"{_fmt(cls_snap['latency_p99'], scale=1e3)}"
+                        f" ({budget_txt},"
+                        f" attain {_fmt(cls_snap['attainment'], digits=3)})",
+                    ]
+                )
         return render_table(["metric", "value"], rows, title=title)

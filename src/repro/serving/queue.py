@@ -1,18 +1,31 @@
 """Bounded multi-tenant request queue with round-robin fair draining.
 
 The queue is the server's backpressure valve: admission beyond
-``capacity`` raises :class:`~repro.errors.BackpressureError` (shed-load)
-instead of letting latency grow without bound, and draining interleaves
-tenants round-robin so one saturating tenant cannot starve the others out
-of virtual-batch slots.
+``capacity`` sheds load instead of letting latency grow without bound,
+and draining interleaves tenants round-robin so one saturating tenant
+cannot starve the others out of virtual-batch slots.
+
+With an :class:`~repro.serving.slo.SloPolicy` attached, shedding becomes
+*class-aware*: a full queue first tries to evict the newest pending
+request of a strictly lower-priority class to make room for the arrival,
+so a best-effort backlog can no longer block premium traffic.  Equal
+priorities never evict each other — without a policy (or with every
+tenant in the default class) the arrival is shed exactly as before.
+
+The queue is also the flush timer's source of truth: with per-class
+budgets, the scheduler's deadline is the *minimum remaining budget* among
+pending requests (:meth:`RequestQueue.earliest_deadline`), not one global
+wait.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 from repro.errors import BackpressureError, ConfigurationError
 from repro.serving.requests import PendingRequest
+from repro.serving.slo import SloPolicy
 
 
 class RequestQueue:
@@ -21,13 +34,19 @@ class RequestQueue:
     Parameters
     ----------
     capacity:
-        Maximum pending requests across all tenants; pushes beyond it shed.
+        Maximum pending requests across all tenants; pushes beyond it
+        shed (or, with an SLO policy, evict a lower-priority victim).
+    slo:
+        Optional per-tenant class assignment.  ``None`` keeps the
+        priority-blind shed-the-arrival behavior bit-identical to
+        previous releases.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, slo: SloPolicy | None = None) -> None:
         if capacity < 1:
             raise ConfigurationError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.slo = slo
         self._queues: dict[str, deque[PendingRequest]] = {}
         self._seen: list[str] = []
         #: Tenants with pending requests, in rotation order.  The head is
@@ -38,26 +57,41 @@ class RequestQueue:
         #: never skip or double-serve an existing tenant's turn.
         self._rotation: deque[str] = deque()
         self._depth = 0
+        #: Arrivals refused outright at admission (no eviction possible).
         self.shed_count = 0
+        #: Pending requests evicted to admit a higher-priority arrival.
+        #: Kept separate from ``shed_count`` so telemetry distinguishes
+        #: who paid for a full queue: the arrival or the backlog.
+        self.evicted_count = 0
         self.pushed_count = 0
 
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def push(self, request: PendingRequest) -> None:
-        """Admit one request or shed it when the queue is full.
+    def push(self, request: PendingRequest) -> PendingRequest | None:
+        """Admit one request; returns the pending request evicted for it.
+
+        When the queue is full, a strictly lower-priority pending request
+        (newest first, highest shed weight first) is evicted to make room
+        and returned so the caller can record its outcome.  With no
+        eligible victim the *arrival* is shed, exactly as before.
 
         Raises
         ------
         BackpressureError
-            When ``capacity`` pending requests are already queued.
+            When ``capacity`` pending requests are already queued and no
+            lower-priority victim exists.
         """
+        evicted = None
         if self._depth >= self.capacity:
-            self.shed_count += 1
-            raise BackpressureError(
-                f"request queue full ({self.capacity} pending);"
-                f" shedding request {request.request_id} from {request.tenant!r}"
-            )
+            priority = self.slo.priority_for(request.tenant) if self.slo else 0
+            evicted = self.evict_newest_below(priority)
+            if evicted is None:
+                self.shed_count += 1
+                raise BackpressureError(
+                    f"request queue full ({self.capacity} pending);"
+                    f" shedding request {request.request_id} from {request.tenant!r}"
+                )
         tenant_queue = self._queues.get(request.tenant)
         if tenant_queue is None:
             tenant_queue = self._queues[request.tenant] = deque()
@@ -69,6 +103,59 @@ class RequestQueue:
         tenant_queue.append(request)
         self._depth += 1
         self.pushed_count += 1
+        return evicted
+
+    def _eviction_key(self, tenant: str) -> tuple:
+        """Victim ordering for one tenant's newest pending request.
+
+        Lowest class priority first, then highest shed weight, then the
+        newest request overall (it has waited least, so evicting it
+        wastes the least standing work); request id breaks exact ties
+        deterministically.
+        """
+        tail = self._queues[tenant][-1]
+        if self.slo is not None:
+            cls = self.slo.class_for(tenant)
+            priority, weight = cls.priority, cls.shed_weight
+        else:
+            priority, weight = 0, 1.0
+        return (priority, -weight, -tail.enqueue_time, -tail.request_id)
+
+    def peek_eviction_candidate(self, priority: int) -> tuple[tuple, str] | None:
+        """The best eviction victim strictly below ``priority``, if any.
+
+        Returns ``(ordering_key, tenant)`` without mutating the queue so
+        a multi-queue deployment can compare candidates *across* shards
+        before committing to one eviction.
+        """
+        best: tuple[tuple, str] | None = None
+        for tenant, tenant_queue in self._queues.items():
+            if not tenant_queue:
+                continue
+            victim_priority = self.slo.priority_for(tenant) if self.slo else 0
+            if victim_priority >= priority:
+                continue
+            key = self._eviction_key(tenant)
+            if best is None or key < best[0]:
+                best = (key, tenant)
+        return best
+
+    def evict_newest_below(self, priority: int) -> PendingRequest | None:
+        """Evict (and return) the best victim strictly below ``priority``.
+
+        ``None`` when every pending request holds equal or higher
+        standing — the caller must shed the arrival instead.
+        """
+        candidate = self.peek_eviction_candidate(priority)
+        if candidate is None:
+            return None
+        tenant = candidate[1]
+        victim = self._queues[tenant].pop()
+        self._depth -= 1
+        self.evicted_count += 1
+        if not self._queues[tenant]:
+            self._rotation.remove(tenant)
+        return victim
 
     # ------------------------------------------------------------------
     # fair draining
@@ -114,3 +201,27 @@ class RequestQueue:
         """Enqueue time of the longest-waiting request, or None when empty."""
         heads = [q[0].enqueue_time for q in self._queues.values() if q]
         return min(heads) if heads else None
+
+    def earliest_deadline(self, wait: float) -> float | None:
+        """The earliest flush deadline among pending requests.
+
+        Each request must flush by ``enqueue + min(wait, flush budget)``:
+        ``wait`` is the deadline in force for its class-less share of the
+        queue (static or learned), and the class's flush budget caps it
+        so a premium request's batch never waits past its contract.  Per
+        tenant the FIFO head is the oldest request and every request in a
+        tenant queue shares one class, so the minimum over heads is the
+        minimum over all pending requests.  Without an SLO policy this is
+        exactly ``oldest_enqueue_time() + wait``.
+        """
+        best = None
+        for tenant, tenant_queue in self._queues.items():
+            if not tenant_queue:
+                continue
+            budget = (
+                self.slo.flush_budget_for(tenant) if self.slo else math.inf
+            )
+            deadline = tenant_queue[0].enqueue_time + min(wait, budget)
+            if best is None or deadline < best:
+                best = deadline
+        return best

@@ -141,20 +141,26 @@ class VirtualBatchScheduler:
         return batches
 
     def collect_expired(self, now: float) -> list[ScheduledBatch]:
-        """Flush partial batches whose oldest request hit the deadline.
+        """Flush partial batches whose tightest remaining budget expired.
 
-        Each flush is stamped with the *deadline* time (oldest enqueue +
-        the wait in force), not ``now``: between trace arrivals the
-        simulated server would have fired the flush timer at the deadline
-        itself.  In adaptive mode the wait is the policy's learned
-        deadline, re-evaluated per flush as the queue drains.  Passing
-        ``now = math.inf`` drains everything deadline-by-deadline.
+        The flush deadline is the *minimum remaining budget* among queued
+        requests (:meth:`~repro.serving.queue.RequestQueue.
+        earliest_deadline`): each request must ship by ``enqueue +
+        min(wait, class flush budget)``, so one premium request's
+        contract pulls the whole partial forward while a queue of
+        budget-less requests keeps exactly the classic ``oldest enqueue +
+        wait`` deadline.  Each flush is stamped with the deadline time,
+        not ``now``: between trace arrivals the simulated server would
+        have fired the flush timer at the deadline itself.  In adaptive
+        mode the wait is the policy's learned deadline, re-evaluated per
+        flush as the queue drains.  Passing ``now = math.inf`` drains
+        everything deadline-by-deadline.
         """
         batches = []
         while self.queue.depth:
             oldest = self.queue.oldest_enqueue_time()
             wait = self.current_wait()
-            deadline = oldest + wait
+            deadline = self.queue.earliest_deadline(wait)
             if deadline > now:
                 break
             flush_at = deadline if math.isfinite(deadline) else oldest
@@ -163,7 +169,7 @@ class VirtualBatchScheduler:
                     self.queue.pop_fair(self.effective_batch_size),
                     flush_at,
                     "deadline",
-                    wait_used=wait,
+                    wait_used=flush_at - oldest,
                 )
             )
         return batches

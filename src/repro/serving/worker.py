@@ -24,6 +24,8 @@ Failures stay contained at two granularities:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import (
@@ -72,6 +74,13 @@ class InferenceWorkerPool:
         :class:`~repro.serving.adaptive.WindowFeedback` per successfully
         dispatched per-shard window — the timing feedback loop the
         adaptive flush policy learns from.
+    slo:
+        Optional :class:`~repro.serving.slo.SloPolicy`.  When set, each
+        dispatched batch carries the tightest remaining end-to-end
+        deadline among its requests (``arrival + budget``), which the
+        deadline-aware stage ranker uses to spend the serialized enclave
+        on premium windows first.  ``None`` dispatches without
+        deadlines — the classic schedule.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class InferenceWorkerPool:
         router=None,
         sessions=None,
         on_feedback=None,
+        slo=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
@@ -95,6 +105,7 @@ class InferenceWorkerPool:
         self.router = router
         self.sessions = sessions
         self.on_feedback = on_feedback
+        self.slo = slo
         self._n_workers = n_workers
         self.batches_run = 0
         #: Enclave-occupied simulated seconds summed over all shards.
@@ -134,12 +145,26 @@ class InferenceWorkerPool:
     # ------------------------------------------------------------------
     # per-shard dispatch
     # ------------------------------------------------------------------
+    def _batch_deadline(self, batch: ScheduledBatch) -> float:
+        """The tightest end-to-end deadline among the batch's requests."""
+        if self.slo is None:
+            return math.inf
+        return min(
+            (req.arrival_time + self.slo.budget_for(req.tenant)
+             for req in batch.requests),
+            default=math.inf,
+        )
+
     def _dispatch_on(
         self, shard_id: int, batches: list[ScheduledBatch]
     ) -> list[RequestOutcome]:
         shard = self.shards[shard_id]
         items = [
-            (np.stack([req.x for req in batch.requests]), batch.flush_time)
+            (
+                np.stack([req.x for req in batch.requests]),
+                batch.flush_time,
+                self._batch_deadline(batch),
+            )
             for batch in batches
         ]
         busy_before = shard.timeline.busy_time
@@ -181,7 +206,7 @@ class InferenceWorkerPool:
                     makespan=stats.makespan,
                     stage_totals=dict(stats.stage_totals),
                     slot_bytes_observed=max(
-                        int(x.nbytes // max(1, x.shape[0])) for x, _ in items
+                        int(x.nbytes // max(1, x.shape[0])) for x, *_ in items
                     ),
                 )
             )

@@ -10,10 +10,21 @@ materially more tenants than the lightest shard, the new tenant is pinned
 to the lightest shard instead.  Hashing is keyed (BLAKE2b), not Python's
 randomized ``hash``, so placements are reproducible across runs.
 
+Heterogeneous deployments weight the ring: a shard with weight ``w``
+contributes ``w`` times the virtual nodes and its pin count is compared
+*normalized by weight*, so a double-capacity shard legitimately carries
+about twice the tenants before the balancer diverts anyone.
+
+With an :class:`~repro.serving.slo.SloPolicy`, placement is additionally
+SLO-aware: tenants of above-default priority skip the hash walk and pin
+straight to the lightest (weight-normalized) healthy shard, spreading
+premium traffic across the least-contended enclaves instead of wherever
+the ring happens to land them.
+
 On failure, :meth:`ShardRouter.fail_shard` removes the dead shard from
 the ring walk and re-pins its displaced tenants through the same
-hash-then-balance rule, returning the remap so the session layer can
-migrate each displaced tenant's attested session.
+placement rule, returning the remap so the session layer can migrate
+each displaced tenant's attested session.
 """
 
 from __future__ import annotations
@@ -38,13 +49,26 @@ class ShardRouter:
     n_shards:
         Shards in the deployment (ids ``0..n_shards-1``).
     replicas:
-        Virtual nodes per shard on the hash ring; more replicas smooth
-        the hash distribution at slightly more setup cost.
+        Virtual nodes per *unit of weight* on the hash ring; more
+        replicas smooth the hash distribution at slightly more setup
+        cost.
     rebalance_margin:
-        How many more pinned tenants the ring's candidate may carry than
-        the least-loaded shard before a *new* tenant is diverted to the
-        latter.  ``1`` balances aggressively (hash placement only breaks
-        ties); larger values preserve hash affinity under skew.
+        How many more pinned tenants (per unit of weight) the ring's
+        candidate may carry than the least-loaded shard before a *new*
+        tenant is diverted to the latter.  ``1`` balances aggressively
+        (hash placement only breaks ties); larger values preserve hash
+        affinity under skew.
+    weights:
+        Optional per-shard capacity weights for heterogeneous
+        deployments; a weight-2 shard gets twice the virtual nodes and
+        is expected to carry about twice the pins.  ``None`` (the
+        default) weighs every shard 1.0 — ring and balancing identical
+        to the homogeneous router.
+    slo:
+        Optional :class:`~repro.serving.slo.SloPolicy`.  Tenants whose
+        class priority exceeds the default class's pin to the lightest
+        healthy shard instead of walking the ring (counted in
+        :attr:`slo_pins`).  ``None`` keeps placement priority-blind.
     """
 
     def __init__(
@@ -52,6 +76,8 @@ class ShardRouter:
         n_shards: int,
         replicas: int = 48,
         rebalance_margin: int = 2,
+        weights: list[float] | None = None,
+        slo=None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"router needs >= 1 shards, got {n_shards}")
@@ -61,12 +87,22 @@ class ShardRouter:
             raise ConfigurationError(
                 f"rebalance margin must be >= 1, got {rebalance_margin}"
             )
+        if weights is not None:
+            if len(weights) != n_shards:
+                raise ConfigurationError(
+                    f"need one weight per shard: {len(weights)} weights"
+                    f" for {n_shards} shards"
+                )
+            if any(w <= 0 for w in weights):
+                raise ConfigurationError(f"shard weights must be > 0, got {weights}")
         self.n_shards = n_shards
         self.rebalance_margin = rebalance_margin
+        self.weights = [1.0] * n_shards if weights is None else [float(w) for w in weights]
+        self.slo = slo
         ring = [
             (_stable_hash(f"shard{shard}/vnode{replica}"), shard)
             for shard in range(n_shards)
-            for replica in range(replicas)
+            for replica in range(max(1, round(replicas * self.weights[shard])))
         ]
         ring.sort()
         self._ring_keys = [h for h, _ in ring]
@@ -80,6 +116,9 @@ class ShardRouter:
         #: from ``rebalanced`` so telemetry distinguishes load diversions
         #: from failure migrations.
         self.failover_repins = 0
+        #: Above-default-priority tenants placed by SLO spreading rather
+        #: than the hash ring.
+        self.slo_pins = 0
 
     # ------------------------------------------------------------------
     # placement
@@ -87,6 +126,14 @@ class ShardRouter:
     def healthy_shards(self) -> list[int]:
         """Shard ids currently accepting traffic."""
         return [s for s in range(self.n_shards) if s not in self._failed]
+
+    def _normalized_load(self, shard: int) -> float:
+        """Pinned tenants per unit of shard weight."""
+        return self._load[shard] / self.weights[shard]
+
+    def _lightest_shard(self) -> int:
+        """The healthy shard with the lowest weight-normalized load."""
+        return min(self.healthy_shards(), key=lambda s: (self._normalized_load(s), s))
 
     def ring_candidate(self, tenant: str) -> int:
         """The consistent-hashing placement, skipping failed shards."""
@@ -100,13 +147,22 @@ class ShardRouter:
                 return shard
         raise ShardError("no healthy shards left to route to")
 
+    def _is_premium(self, tenant: str) -> bool:
+        """True when the tenant's class outranks the default class."""
+        return (
+            self.slo is not None
+            and self.slo.priority_for(tenant) > self.slo.default_class.priority
+        )
+
     def shard_for(self, tenant: str) -> int:
         """The tenant's pinned shard, placing (and pinning) on first sight.
 
-        New tenants take the ring candidate unless it is already carrying
-        ``rebalance_margin`` more pinned tenants than the lightest healthy
-        shard, in which case the lightest shard wins (deterministic tie
-        break toward the lowest shard id).
+        New default-class tenants take the ring candidate unless it is
+        already carrying ``rebalance_margin`` more pinned tenants (per
+        unit of weight) than the lightest healthy shard, in which case
+        the lightest shard wins (deterministic tie break toward the
+        lowest shard id).  New above-default-priority tenants pin
+        straight to the lightest shard.
         """
         pinned = self._pins.get(tenant)
         if pinned is not None and pinned not in self._failed:
@@ -114,18 +170,28 @@ class ShardRouter:
         return self._place(tenant, count_as_rebalance=True)
 
     def _place(self, tenant: str, count_as_rebalance: bool) -> int:
-        """Hash-then-balance placement shared by admission and failover.
+        """SLO-then-hash-then-balance placement for admission and failover.
 
         Only organic admissions count load diversions in ``rebalanced``;
         failover re-pins are accounted in ``failover_repins`` by
         :meth:`fail_shard` so the two telemetry streams stay disjoint.
+        SLO spreads are counted in ``slo_pins`` either way.
         """
-        candidate = self.ring_candidate(tenant)
-        lightest = min(self.healthy_shards(), key=lambda s: (self._load[s], s))
-        if self._load[candidate] - self._load[lightest] >= self.rebalance_margin:
-            candidate = lightest
-            if count_as_rebalance:
-                self.rebalanced += 1
+        if not self.healthy_shards():
+            raise ShardError("no healthy shards left to route to")
+        if self._is_premium(tenant):
+            candidate = self._lightest_shard()
+            self.slo_pins += 1
+        else:
+            candidate = self.ring_candidate(tenant)
+            lightest = self._lightest_shard()
+            if (
+                self._normalized_load(candidate) - self._normalized_load(lightest)
+                >= self.rebalance_margin
+            ):
+                candidate = lightest
+                if count_as_rebalance:
+                    self.rebalanced += 1
         self._pins[tenant] = candidate
         self._load[candidate] += 1
         return candidate

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from repro.comm import LinkModel
 from repro.enclave import Enclave, EpcModel
 from repro.errors import ShardFailedError
@@ -136,10 +134,11 @@ class EnclaveShard:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def run_window(self, items: list[tuple[np.ndarray, float]]):
+    def run_window(self, items: list[tuple]):
         """Run one flush window on this shard's timeline.
 
-        Returns ``(groups, stats)`` exactly like
+        ``items`` entries are ``(batch, release_time)`` or ``(batch,
+        release_time, deadline)``; returns ``(groups, stats)`` exactly like
         :meth:`~repro.runtime.inference.PrivateInferenceEngine.run_batch_window`.
 
         Raises

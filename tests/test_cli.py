@@ -185,3 +185,40 @@ def test_explicit_report_subcommand(capsys):
 )
 def test_parse_seed_flag(argv, expected):
     assert parse_seed_flag(argv) == expected
+
+
+def test_serve_subcommand_with_slo_classes(capsys):
+    rc = main(
+        [
+            "serve", "--model", "tiny", "--requests", "24",
+            "--slo-budget", "premium=5",
+            "--slo-class", "tenant0=premium",
+            "--stage-ranker", "deadline",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SLO classes (deadline ranker)" in out
+    assert "premium=5.0ms <- tenant0" in out
+    assert "SLO attainment" in out
+
+
+def test_serve_rejects_slo_class_without_budget(capsys):
+    rc = main(["serve", "--model", "tiny", "--slo-class", "tenant0=premium"])
+    assert rc == 2
+    assert "class budget" in capsys.readouterr().err
+
+
+def test_serve_rejects_malformed_slo_flags(capsys):
+    rc = main(["serve", "--model", "tiny", "--slo-budget", "premium"])
+    assert rc == 2
+    assert "key=value" in capsys.readouterr().err
+    rc = main(["serve", "--model", "tiny", "--slo-budget", "premium=fast"])
+    assert rc == 2
+    assert "milliseconds" in capsys.readouterr().err
+
+
+def test_serve_rejects_deadline_ranker_without_slo(capsys):
+    rc = main(["serve", "--model", "tiny", "--stage-ranker", "deadline"])
+    assert rc == 2
+    assert "--slo-budget" in capsys.readouterr().err

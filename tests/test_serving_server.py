@@ -319,3 +319,67 @@ def test_plaintext_mode_skips_channel_crypto():
     plain_report = plain.serve_trace(trace)
     assert len(plain_report.completed) == len(encrypted_report.completed) == 8
     assert plain_report.link_bytes < encrypted_report.link_bytes
+
+
+def test_premium_arrival_evicts_best_effort_backlog_end_to_end():
+    """A full deployment admits premium traffic by evicting the newest
+    best-effort pending request, with both shed kinds accounted."""
+    from repro.serving import SloClass, SloPolicy
+
+    slo = SloPolicy(
+        classes={"premium": SloClass(name="premium", latency_budget=0.005, priority=1)},
+        assignments={"tenant0": "premium"},
+    )
+    net = _tiny_net()
+    rng = np.random.default_rng(3)
+    # A best-effort burst fills the whole capacity at t=0, then premium
+    # and best-effort arrivals contend for the full queue.
+    trace = [
+        TraceRequest(time=0.0, tenant="tenant1", x=rng.normal(size=16))
+        for _ in range(4)
+    ]
+    trace += [TraceRequest(time=1e-5, tenant="tenant1", x=rng.normal(size=16))]
+    trace += [TraceRequest(time=2e-5, tenant="tenant0", x=rng.normal(size=16))]
+    server = PrivateInferenceServer(
+        net,
+        _config(
+            queue_capacity=4,
+            max_batch_wait=0.01,
+            slo=slo,
+            darknight=DarKnightConfig(virtual_batch_size=8, seed=0),
+        ),
+    )
+    report = server.serve_trace(trace)
+    snap = report.metrics.snapshot()
+    # The best-effort arrival at the full queue was refused; the premium
+    # one evicted a pending best-effort request instead.
+    assert snap["shed_at_admission"] == 1
+    assert snap["shed_evicted"] == 1
+    assert snap["shed"] == 2
+    shed = [o for o in report.outcomes if o.status == STATUS_SHED]
+    assert {o.tenant for o in shed} == {"tenant1"}
+    # Premium completed; exactly 4 requests served (capacity held).
+    premium = [o for o in report.completed if o.tenant == "tenant0"]
+    assert len(premium) == 1
+    assert len(report.completed) == 4
+    assert sum(q.evicted_count for q in server.queues) == 1
+
+
+def test_all_default_slo_policy_is_bit_identical_to_no_policy():
+    """An SloPolicy whose every class is the default must not change a
+    single bit, batch id, or completion time."""
+    from repro.serving import SloPolicy
+
+    net = _tiny_net()
+    trace = synthetic_trace(24, (16,), n_tenants=3, seed=6)
+    baseline = PrivateInferenceServer(net, _config()).serve_trace(trace)
+    with_policy = PrivateInferenceServer(
+        net, _config(slo=SloPolicy())
+    ).serve_trace(trace)
+    a = {o.request_id: o for o in baseline.completed}
+    b = {o.request_id: o for o in with_policy.completed}
+    assert sorted(a) == sorted(b)
+    for rid in a:
+        assert np.array_equal(a[rid].logits, b[rid].logits)
+        assert a[rid].completion_time == b[rid].completion_time
+        assert a[rid].batch_id == b[rid].batch_id
