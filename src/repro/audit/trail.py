@@ -1,0 +1,169 @@
+"""The serving-side audit trail: per-shard logs behind one commit API.
+
+:class:`AuditTrail` is what the worker pool talks to — it owns one
+chained :class:`~repro.audit.log.AuditLog` per shard, stamps every
+commitment with the deployment's effective-config digest (so a proof
+also pins *which* integrity posture served the request), tracks commit
+cost (windows, leaves, bytes, wall seconds), and writes a
+``manifest.json`` recording everything replay needs to reprovision the
+deployment: model name, seed, shard count, and the full effective
+DarKnight config.
+
+The trail is deliberately passive: it never raises into the serving hot
+path on commit (malformed windows are an :class:`AuditError` bug, not a
+tenant-visible failure) and costs nothing when :class:`AuditConfig` is
+absent — the worker pool holds ``None`` and skips the call sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.audit.commitment import WindowCommitment, digest_json
+from repro.audit.log import AuditLog
+from repro.errors import AuditError
+from repro.runtime.config import DarKnightConfig
+
+MANIFEST_NAME = "manifest.json"
+
+
+def log_filename(shard_id: int) -> str:
+    """The JSONL filename one shard's chained log persists to."""
+    return f"shard{int(shard_id)}.audit.jsonl"
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Serving-level audit switches (attach to ``ServingConfig.audit``).
+
+    Parameters
+    ----------
+    log_dir:
+        Directory for per-shard JSONL logs plus ``manifest.json``;
+        ``None`` keeps the trail in memory (chain heads and proofs still
+        work, nothing survives the process).
+    model:
+        Name of the served model, recorded in the manifest so
+        ``python -m repro audit replay`` can rebuild the same network.
+    """
+
+    log_dir: str | None = None
+    model: str | None = None
+
+
+class AuditTrail:
+    """Chained per-shard window logs for one serving deployment."""
+
+    def __init__(
+        self,
+        config: AuditConfig,
+        darknight: DarKnightConfig,
+        num_shards: int,
+        on_commit: Callable[[int, int, float], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.darknight = darknight
+        self.num_shards = int(num_shards)
+        self.on_commit = on_commit
+        self.config_digest = digest_json(dataclasses.asdict(darknight))
+        self.log_dir = Path(config.log_dir) if config.log_dir else None
+        self.logs: dict[int, AuditLog] = {
+            sid: AuditLog(
+                sid,
+                None if self.log_dir is None else self.log_dir / log_filename(sid),
+            )
+            for sid in range(self.num_shards)
+        }
+        self.windows_committed = 0
+        self.leaves_committed = 0
+        self.bytes_written = 0
+        self.commit_seconds = 0.0
+        if self.log_dir is not None:
+            self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "model": self.config.model,
+            "seed": self.darknight.seed,
+            "num_shards": self.num_shards,
+            "darknight": dataclasses.asdict(self.darknight),
+            "config_digest": self.config_digest,
+        }
+        (self.log_dir / MANIFEST_NAME).write_text(
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        )
+
+    # ------------------------------------------------------------------
+    # the commit path (called by the worker pool per flushed window)
+    # ------------------------------------------------------------------
+    def commit_window(
+        self,
+        shard_id: int,
+        batches: list,
+        outputs_by_batch: list,
+        status: str,
+        aborted: bool = False,
+        error: str | None = None,
+    ) -> dict:
+        """Build, chain, and persist one window's commitment."""
+        if shard_id not in self.logs:
+            raise AuditError(
+                f"audit trail has no log for shard {shard_id}"
+                f" ({self.num_shards} provisioned)"
+            )
+        start = time.perf_counter()
+        log = self.logs[shard_id]
+        before = log.bytes_written
+        commitment = WindowCommitment.build(
+            shard_id=shard_id,
+            batches=batches,
+            outputs_by_batch=outputs_by_batch,
+            status=status,
+            aborted=aborted,
+            error=error,
+            integrity_enabled=self.darknight.integrity,
+            config_digest=self.config_digest,
+            seed=self.darknight.seed,
+        )
+        entry = log.append(commitment)
+        elapsed = time.perf_counter() - start
+        nbytes = log.bytes_written - before
+        self.windows_committed += 1
+        self.leaves_committed += len(commitment.leaves)
+        self.bytes_written += nbytes
+        self.commit_seconds += elapsed
+        if self.on_commit is not None:
+            self.on_commit(len(commitment.leaves), nbytes, elapsed)
+        return entry
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def chain_roots(self) -> dict[int, str]:
+        """Every shard's current chain head (publish these)."""
+        return {sid: log.chain_root for sid, log in sorted(self.logs.items())}
+
+    def verify(self) -> int:
+        """Walk every shard's chain; returns total windows verified."""
+        return sum(log.verify_chain() for log in self.logs.values())
+
+
+def load_manifest(log_dir: str | Path) -> dict:
+    """Read an audit directory's manifest (model/seed/effective config)."""
+    path = Path(log_dir) / MANIFEST_NAME
+    if not path.exists():
+        raise AuditError(f"no audit manifest at {path}")
+    return json.loads(path.read_text())
+
+
+def manifest_config(manifest: dict) -> DarKnightConfig:
+    """Rebuild the effective DarKnight config a manifest recorded."""
+    try:
+        return DarKnightConfig(**manifest["darknight"])
+    except (KeyError, TypeError) as exc:
+        raise AuditError(f"audit manifest has no usable config ({exc})") from exc

@@ -1,11 +1,15 @@
 """Command-line entry points for ``python -m repro``.
 
-Two subcommands:
+Three subcommands:
 
 * ``report`` (the default) — regenerate the paper's evaluation tables;
 * ``serve`` — drive the multi-tenant private-inference server over a
   synthetic offline request trace (no network dependency) and print the
-  serving metrics.
+  serving metrics; ``--audit-log DIR`` additionally commits every flush
+  window to the verifiable audit trail;
+* ``audit`` — query a recorded trail: ``prove`` a request's inclusion,
+  ``verify`` a proof offline against a published chain head, ``replay``
+  a disputed window deterministically, ``check-chain`` walk the logs.
 
 Unknown leading arguments fall through to ``report`` so the module also
 runs cleanly under harnesses that own ``sys.argv`` (e.g. pytest's smoke
@@ -191,6 +195,13 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--per-request", action="store_true",
         help="disable coalescing (dispatch each request alone; baseline)",
     )
+    parser.add_argument(
+        "--audit-log", default=None, metavar="DIR",
+        help="enable the verifiable audit trail: commit every flush window"
+             " to per-shard hash-chained Merkle logs under DIR (plus a"
+             " manifest for deterministic replay); query them afterwards"
+             " with 'python -m repro audit'",
+    )
     parser.add_argument("--seed", type=int, default=0, help="determinism seed")
     return parser
 
@@ -296,6 +307,11 @@ def _serve(args) -> int:
         adaptive = AdaptiveBatchingConfig(
             target_fill=0.85 if args.target_fill is None else args.target_fill
         )
+    audit = None
+    if args.audit_log is not None:
+        from repro.serving import AuditConfig
+
+        audit = AuditConfig(log_dir=args.audit_log, model=args.model)
     config = ServingConfig(
         darknight=dk,
         max_batch_wait=args.batch_wait,
@@ -304,6 +320,7 @@ def _serve(args) -> int:
         coalesce=not args.per_request,
         adaptive=adaptive,
         slo=slo,
+        audit=audit,
     )
     trace = synthetic_trace(
         n_requests=args.requests,
@@ -342,13 +359,206 @@ def _serve(args) -> int:
         )
         print(f"SLO classes ({args.stage_ranker} ranker): {classes}")
     print(report.render())
+    if args.audit_log is not None:
+        print(
+            f"audit: {server.metrics.audit_windows} windows"
+            f" ({server.metrics.audit_leaves} leaves,"
+            f" {server.metrics.audit_bytes:,} bytes) committed to"
+            f" {args.audit_log}"
+        )
     return 0
 
 
+# ----------------------------------------------------------------------
+# the audit subcommand
+# ----------------------------------------------------------------------
+def _audit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro audit",
+        description="Query a serving run's verifiable audit trail.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    prove = sub.add_parser(
+        "prove", help="extract a request's offline-verifiable inclusion proof"
+    )
+    prove.add_argument("--log-dir", required=True, help="audit directory")
+    prove.add_argument("--request-id", type=int, required=True)
+    prove.add_argument(
+        "--out", default=None, help="write the proof JSON here (default: stdout)"
+    )
+    verify = sub.add_parser(
+        "verify", help="verify a proof file against a shard chain head"
+    )
+    verify.add_argument("--proof", required=True, help="proof JSON from 'prove'")
+    verify.add_argument(
+        "--root", default=None,
+        help="the shard chain head to verify against (hex); defaults to the"
+             " head embedded in the proof file — pass the independently"
+             " published head to actually distrust the file",
+    )
+    replay = sub.add_parser(
+        "replay", help="deterministically re-execute a committed window"
+    )
+    replay.add_argument("--log-dir", required=True, help="audit directory")
+    replay.add_argument("--shard", type=int, default=None)
+    replay.add_argument("--window", type=int, default=None)
+    replay.add_argument(
+        "--request-id", type=int, default=None,
+        help="replay the window holding this request's terminal leaf"
+             " (alternative to --shard/--window)",
+    )
+    chain = sub.add_parser(
+        "check-chain", help="walk every shard log's hash chain end to end"
+    )
+    chain.add_argument("--log-dir", required=True, help="audit directory")
+    chain.add_argument(
+        "--recover", action="store_true",
+        help="tolerate a damaged log: keep each chain's longest valid"
+             " prefix and report how many lines were dropped",
+    )
+    return parser
+
+
+def _audit_logs(log_dir: str, recover: bool = False):
+    """Load every per-shard log in an audit directory."""
+    from repro.audit import AuditLog
+    from repro.errors import ConfigurationError
+
+    paths = sorted(Path(log_dir).glob("shard*.audit.jsonl"))
+    if not paths:
+        raise ConfigurationError(f"no shard*.audit.jsonl logs under {log_dir}")
+    logs = {}
+    for path in paths:
+        if recover:
+            log, dropped = AuditLog.recover(path)
+        else:
+            log, dropped = AuditLog.load(path), 0
+        logs[log.shard_id] = (log, dropped)
+    return logs
+
+
+def _audit_find(logs, request_id: int):
+    """The (log, proof) pair holding a request's best (terminal) leaf."""
+    from repro.audit import STATUS_RETRIED, prove
+    from repro.errors import AuditError
+
+    best = None
+    for log, _ in logs.values():
+        try:
+            proof = prove(log, request_id)
+        except AuditError:
+            continue
+        terminal = proof.leaf["status"] != STATUS_RETRIED
+        if best is None or (terminal and not best[2]):
+            best = (log, proof, terminal)
+        if terminal:
+            break
+    if best is None:
+        raise AuditError(f"request {request_id} appears in no shard's audit log")
+    return best[0], best[1]
+
+
+def run_audit(argv: list[str]) -> int:
+    """``python -m repro audit <prove|verify|replay|check-chain> ...``."""
+    import json
+
+    from repro.audit import (
+        InclusionProof,
+        load_manifest,
+        manifest_config,
+        replay_window,
+        verify_proof,
+    )
+    from repro.errors import ConfigurationError, ReproError
+
+    args = _audit_parser().parse_args(argv)
+    try:
+        if args.cmd == "prove":
+            logs = _audit_logs(args.log_dir)
+            log, proof = _audit_find(logs, args.request_id)
+            record = {"proof": proof.to_record(), "shard_root": log.chain_root}
+            text = json.dumps(record, sort_keys=True, indent=2)
+            if args.out is not None:
+                Path(args.out).write_text(text + "\n")
+                print(
+                    f"request {args.request_id}: proof from shard"
+                    f" {log.shard_id} window {proof.window_id}"
+                    f" ({len(proof.merkle.path)} siblings) -> {args.out}"
+                )
+            else:
+                print(text)
+            return 0
+        if args.cmd == "verify":
+            record = json.loads(Path(args.proof).read_text())
+            proof = InclusionProof.from_record(record["proof"])
+            root = args.root if args.root is not None else record["shard_root"]
+            ok = verify_proof(proof, root)
+            print(
+                f"request {proof.leaf['request_id']} (shard {proof.shard_id},"
+                f" window {proof.window_id}, status"
+                f" {proof.leaf['status']!r}): "
+                + ("PROOF OK" if ok else "PROOF FAILED")
+            )
+            return 0 if ok else 1
+        if args.cmd == "replay":
+            manifest = load_manifest(args.log_dir)
+            logs = _audit_logs(args.log_dir)
+            if args.request_id is not None:
+                log, proof = _audit_find(logs, args.request_id)
+                entry = log.entries[proof.window_id]
+            elif args.shard is not None and args.window is not None:
+                if args.shard not in logs:
+                    raise ConfigurationError(
+                        f"no shard {args.shard} log under {args.log_dir}"
+                    )
+                log = logs[args.shard][0]
+                if not 0 <= args.window < log.n_windows:
+                    raise ConfigurationError(
+                        f"shard {args.shard} has {log.n_windows} windows;"
+                        f" --window {args.window} is out of range"
+                    )
+                entry = log.entries[args.window]
+            else:
+                raise ConfigurationError(
+                    "replay needs --request-id, or both --shard and --window"
+                )
+            network, _ = build_serving_model(
+                manifest["model"], seed=manifest["seed"] or 0
+            )
+            result = replay_window(entry, network, manifest_config(manifest))
+            print(
+                f"window {result.window_id} (shard {result.shard_id}):"
+                f" replayed {result.n_requests} request(s) in"
+                f" {result.n_batches} batch(es); output digests MATCH"
+            )
+            return 0
+        # check-chain
+        logs = _audit_logs(args.log_dir, recover=args.recover)
+        total = 0
+        for shard_id in sorted(logs):
+            log, dropped = logs[shard_id]
+            checked = log.verify_chain()
+            total += checked
+            line = (
+                f"shard {shard_id}: {checked} window(s) verified,"
+                f" head {log.chain_root[:16]}…"
+            )
+            if dropped:
+                line += f" ({dropped} damaged line(s) dropped)"
+            print(line)
+        print(f"chain OK: {total} window(s) across {len(logs)} shard(s)")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch ``python -m repro [report|serve] ...``."""
+    """Dispatch ``python -m repro [report|serve|audit] ...``."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "audit":
+        return run_audit(argv[1:])
     # ``report`` explicitly, or anything else (including foreign argv).
     return run_report()

@@ -68,6 +68,15 @@ class BackpressureError(ServingError):
     """The server's bounded request queue is full; the request was shed."""
 
 
+class AuditError(ReproError):
+    """The verifiable serving audit trail detected tampering or misuse.
+
+    Raised when a chained log fails its integrity walk, a proof does not
+    authenticate, a replay diverges from the committed digests, or an
+    audit API is asked something the log cannot answer.
+    """
+
+
 class ShardError(ServingError):
     """Failure inside the multi-enclave sharding subsystem."""
 

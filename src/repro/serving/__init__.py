@@ -10,6 +10,7 @@ one scheduler; a cross-enclave attestation mesh lets sessions fail over
 when a shard dies.
 """
 
+from repro.audit import AuditConfig, AuditTrail
 from repro.serving.adaptive import (
     AdaptiveBatchingConfig,
     AdaptiveFlushPolicy,
@@ -54,6 +55,8 @@ from repro.serving.trace import (
 from repro.serving.worker import InferenceWorkerPool
 
 __all__ = [
+    "AuditConfig",
+    "AuditTrail",
     "AdaptiveBatchingConfig",
     "AdaptiveFlushPolicy",
     "WindowFeedback",

@@ -56,6 +56,9 @@ class RequestQueue:
         #: by an index into an ever-growing list, and a new tenant can
         #: never skip or double-serve an existing tenant's turn.
         self._rotation: deque[str] = deque()
+        #: Deficit round-robin carry: fractional drain credit a tenant
+        #: banked from earlier turns (bounded by its class weight).
+        self._drain_credit: dict[str, float] = {}
         self._depth = 0
         #: Arrivals refused outright at admission (no eviction possible).
         self.shed_count = 0
@@ -155,28 +158,45 @@ class RequestQueue:
         self.evicted_count += 1
         if not self._queues[tenant]:
             self._rotation.remove(tenant)
+            self._drain_credit.pop(tenant, None)
         return victim
 
     # ------------------------------------------------------------------
     # fair draining
     # ------------------------------------------------------------------
     def pop_fair(self, max_n: int) -> list[PendingRequest]:
-        """Pop up to ``max_n`` requests, one per tenant per rotation.
+        """Pop up to ``max_n`` requests, class-weighted round-robin.
 
         Tenants are visited round-robin starting where the previous call
-        stopped, so over consecutive batches every active tenant gets an
-        equal share of slots regardless of individual queue depth.  The
-        rotation holds only tenants with pending work and is keyed by
-        tenant, so tenants draining or arriving mid-rotation never shift
-        whose turn is next.
+        stopped; each turn is worth the tenant's class ``drain_weight``
+        slots (deficit round-robin: fractional weights accumulate as
+        credit, bounded by the weight, and a drained tenant forfeits its
+        carry).  Without an SLO policy — or with every class at the
+        default weight 1 — each turn pops exactly one request, so over
+        consecutive batches every active tenant gets an equal share of
+        slots regardless of individual queue depth, bit-identical to the
+        classic rotation.  The rotation holds only tenants with pending
+        work and is keyed by tenant, so tenants draining or arriving
+        mid-rotation never shift whose turn is next.
         """
         out: list[PendingRequest] = []
         while len(out) < max_n and self._rotation:
             tenant = self._rotation.popleft()
             tenant_queue = self._queues[tenant]
-            out.append(tenant_queue.popleft())
-            self._depth -= 1
+            weight = (
+                self.slo.class_for(tenant).drain_weight if self.slo else 1.0
+            )
+            credit = self._drain_credit.pop(tenant, 0.0) + weight
+            take = min(max(1, int(credit)), len(tenant_queue), max_n - len(out))
+            for _ in range(take):
+                out.append(tenant_queue.popleft())
+            self._depth -= take
             if tenant_queue:
+                leftover = credit - take
+                if leftover > 0:
+                    # Cap the carry at one turn's weight so an idle spell
+                    # can never bank an unbounded burst.
+                    self._drain_credit[tenant] = min(leftover, weight)
                 self._rotation.append(tenant)
         return out
 

@@ -32,6 +32,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.audit import AuditConfig, AuditTrail
 from repro.comm import LinkModel
 from repro.enclave import EPC_USABLE_BYTES, Enclave
 from repro.errors import BackpressureError, ConfigurationError, ShardError
@@ -123,6 +124,15 @@ class ServingConfig:
         deployments (forwarded to the
         :class:`~repro.sharding.ShardRouter`'s hash ring); ``None``
         weighs every shard equally.
+    audit:
+        Optional :class:`~repro.audit.AuditConfig` enabling the
+        verifiable serving audit trail: every flush window's requests,
+        integrity posture, and decoded-output digests are committed to a
+        per-shard hash-chained Merkle log
+        (:attr:`PrivateInferenceServer.audit`), from which tenants can
+        extract offline-verifiable inclusion proofs and auditors can
+        deterministically replay disputed windows.  ``None`` — the
+        default — commits nothing and leaves dispatch bit-identical.
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -137,6 +147,7 @@ class ServingConfig:
     adaptive: AdaptiveBatchingConfig | None = None
     slo: SloPolicy | None = None
     shard_weights: tuple[float, ...] | None = None
+    audit: AuditConfig | None = None
 
 
 @dataclass
@@ -151,8 +162,12 @@ class ServingReport:
     shards: int = 1
     failovers: int = 0
     migrations: int = 0
+    #: Failover retries skipped because the class budget was exhausted.
+    retries_skipped_budget: int = 0
     #: Per-shard learned-policy telemetry (None entries = static shards).
     adaptive: list | None = None
+    #: Per-shard audit chain heads (``None`` when auditing is disabled).
+    audit_roots: dict[int, str] | None = None
 
     @property
     def completed(self) -> list[RequestOutcome]:
@@ -171,7 +186,18 @@ class ServingReport:
             f"shards: {self.shards} enclave shard(s),"
             f" {self.failovers} failovers,"
             f" {self.migrations} session migrations"
+            + (
+                f", {self.retries_skipped_budget} retries skipped (budget)"
+                if self.retries_skipped_budget
+                else ""
+            )
         )
+        if self.audit_roots is not None:
+            heads = ", ".join(
+                f"shard {sid}: {root[:12]}…"
+                for sid, root in sorted(self.audit_roots.items())
+            )
+            lines.append(f"audit chain heads: {heads}")
         learned = [snap for snap in (self.adaptive or []) if snap is not None]
         if learned:
             waits = ", ".join(
@@ -312,6 +338,16 @@ class PrivateInferenceServer:
             slots=dk.virtual_batch_size,
             policies=policies,
         )
+        self.metrics = ServerMetrics(slo=self.config.slo)
+        #: The verifiable audit trail (``None`` unless ``config.audit``).
+        self.audit: AuditTrail | None = None
+        if self.config.audit is not None:
+            self.audit = AuditTrail(
+                self.config.audit,
+                darknight=dk,
+                num_shards=dk.num_shards,
+                on_commit=self.metrics.record_commit,
+            )
         self.pool = InferenceWorkerPool(
             n_workers=self.config.n_workers,
             shards=self.shards,
@@ -321,8 +357,8 @@ class PrivateInferenceServer:
                 self.scheduler.observe_feedback if policies is not None else None
             ),
             slo=self.config.slo,
+            audit=self.audit,
         )
-        self.metrics = ServerMetrics(slo=self.config.slo)
         self._outcomes: list[RequestOutcome] = []
         self._next_request_id = 0
         # Completion times of dispatched requests, for in-flight accounting.
@@ -508,5 +544,7 @@ class PrivateInferenceServer:
             shards=len(self.shards),
             failovers=self.pool.failovers,
             migrations=self.sessions.migrations,
+            retries_skipped_budget=self.pool.retries_skipped_budget,
             adaptive=self.scheduler.policy_snapshots(),
+            audit_roots=self.audit.chain_roots() if self.audit is not None else None,
         )

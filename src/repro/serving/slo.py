@@ -68,12 +68,20 @@ class SloClass:
     shed_weight:
         Relative willingness to be evicted among equally-low-priority
         victims (higher sheds first); a tie-break, not a rate.
+    drain_weight:
+        Virtual-batch slots the tenant's turn is worth when the queue
+        drains round-robin: a class with weight ``w`` pops up to ``w``
+        requests per rotation (fractions accumulate as deficit credit),
+        so premium tenants drain proportionally under contention instead
+        of strictly one-per-turn.  The default ``1.0`` is bit-identical
+        to the classic rotation.
     """
 
     name: str = DEFAULT_CLASS_NAME
     latency_budget: float = math.inf
     priority: int = 0
     shed_weight: float = 1.0
+    drain_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,6 +93,11 @@ class SloClass:
         if self.shed_weight < 0:
             raise ConfigurationError(
                 f"shed weight must be >= 0, got {self.shed_weight}"
+            )
+        if self.drain_weight < 1.0:
+            raise ConfigurationError(
+                f"drain weight must be >= 1 (a turn cannot shrink below one"
+                f" slot), got {self.drain_weight}"
             )
 
     @property
@@ -186,6 +199,7 @@ class SloPolicy:
                 ),
                 "priority": cls.priority,
                 "shed_weight": cls.shed_weight,
+                "drain_weight": cls.drain_weight,
                 "tenants": sorted(
                     t for t, n in self.assignments.items() if n == cls.name
                 ),

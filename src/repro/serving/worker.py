@@ -24,10 +24,12 @@ Failures stay contained at two granularities:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
 import numpy as np
 
+from repro.audit.commitment import STATUS_RETRIED
 from repro.errors import (
     AttestationError,
     ConfigurationError,
@@ -80,7 +82,17 @@ class InferenceWorkerPool:
         deadline among its requests (``arrival + budget``), which the
         deadline-aware stage ranker uses to spend the serialized enclave
         on premium windows first.  ``None`` dispatches without
-        deadlines — the classic schedule.
+        deadlines — the classic schedule.  Failover also becomes
+        budget-aware: requests whose class budget is already exhausted at
+        the failure frontier are failed immediately (and counted in
+        :attr:`retries_skipped_budget`) instead of burning a surviving
+        shard's enclave on a response that can only arrive late.
+    audit:
+        Optional :class:`~repro.audit.AuditTrail`.  When set, every
+        dispatched window — completed, aborted-and-isolated, failed-over,
+        or terminally failed — is committed to the owning shard's chained
+        log at flush completion.  ``None`` (the default) skips every
+        commit site; dispatch behaviour and outcomes are bit-identical.
     """
 
     def __init__(
@@ -92,6 +104,7 @@ class InferenceWorkerPool:
         sessions=None,
         on_feedback=None,
         slo=None,
+        audit=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"worker pool needs >= 1 workers, got {n_workers}")
@@ -106,11 +119,15 @@ class InferenceWorkerPool:
         self.sessions = sessions
         self.on_feedback = on_feedback
         self.slo = slo
+        self.audit = audit
         self._n_workers = n_workers
         self.batches_run = 0
         #: Enclave-occupied simulated seconds summed over all shards.
         self.busy_time = 0.0
         self.failovers = 0
+        #: Failover retries skipped because the class SLO budget was
+        #: already exhausted at the failure frontier.
+        self.retries_skipped_budget = 0
         self._failed_shards: set[int] = set()
         self._stage_totals: dict[str, float] = {}
 
@@ -145,6 +162,27 @@ class InferenceWorkerPool:
     # ------------------------------------------------------------------
     # per-shard dispatch
     # ------------------------------------------------------------------
+    def _commit(
+        self,
+        shard_id: int,
+        batches: list[ScheduledBatch],
+        outputs_by_batch: list,
+        status: str,
+        aborted: bool = False,
+        error: str | None = None,
+    ) -> None:
+        """Commit one window to the audit trail (no-op when audit is off)."""
+        if self.audit is None or not batches:
+            return
+        self.audit.commit_window(
+            shard_id,
+            batches,
+            outputs_by_batch,
+            status=status,
+            aborted=aborted,
+            error=error,
+        )
+
     def _batch_deadline(self, batch: ScheduledBatch) -> float:
         """The tightest end-to-end deadline among the batch's requests."""
         if self.slo is None:
@@ -182,7 +220,18 @@ class InferenceWorkerPool:
             shard.busy_time += aborted_busy
             if len(batches) > 1:
                 # One bad batch aborted the shared schedule; isolate it by
-                # running every batch in its own single-batch window.
+                # running every batch in its own single-batch window.  The
+                # aborted shared window still enters the audit log, marked
+                # as retried — the terminal leaves live in the isolating
+                # single-batch windows below.
+                self._commit(
+                    shard_id,
+                    batches,
+                    [None] * len(batches),
+                    status=STATUS_RETRIED,
+                    aborted=True,
+                    error=str(exc),
+                )
                 return [
                     o for batch in batches for o in self._dispatch_on(shard_id, [batch])
                 ]
@@ -194,9 +243,15 @@ class InferenceWorkerPool:
             # Completion falls back to the clock's failure frontier.
             fallback = max(shard.timeline.free_at, batches[0].flush_time)
             self.batches_run += 1
+            self._commit(
+                shard_id, batches, [None], status=status, aborted=True, error=str(exc)
+            )
             return self._outcomes(batches[0], None, status, str(exc), fallback)
         self._account(stats)
         self.batches_run += len(batches)
+        self._commit(
+            shard_id, batches, [group.output for group in groups], status=STATUS_OK
+        )
         if self.on_feedback is not None:
             self.on_feedback(
                 WindowFeedback(
@@ -233,10 +288,18 @@ class InferenceWorkerPool:
         arrival re-attests from scratch on the re-pinned shard.
         """
         outcomes: list[RequestOutcome] = []
+        completed_outputs = []
         for batch, (groups, stats) in zip(batches, exc.completed):
             self._account(stats)
             self.batches_run += 1
+            completed_outputs.append(groups[0].output)
             outcomes.extend(self._outcomes(batch, groups[0], STATUS_OK, None, 0.0))
+        self._commit(
+            shard.shard_id,
+            batches[: exc.remaining_from],
+            completed_outputs,
+            status=STATUS_OK,
+        )
         remaining = batches[exc.remaining_from :]
         now = remaining[0].flush_time if remaining else batches[-1].flush_time
         outage: Exception | None = None
@@ -253,13 +316,31 @@ class InferenceWorkerPool:
             except (ShardError, AttestationError) as migration_exc:
                 outage = migration_exc
         retries_by_target: dict[int, list[ScheduledBatch]] = {}
+        terminal: list[tuple[ScheduledBatch, str]] = []
+        rerouted: list[ScheduledBatch] = []
         for batch in remaining:
             fallback = max(shard.timeline.free_at, batch.flush_time)
             if outage is not None:
+                terminal.append((batch, str(outage)))
                 outcomes.extend(
                     self._outcomes(batch, None, STATUS_SHARD_FAILED, str(outage), fallback)
                 )
                 continue
+            batch, expired = self._prune_exhausted(batch, fallback)
+            if expired is not None:
+                expired_error = (
+                    f"batch {expired.batch_id}: class SLO budget exhausted at"
+                    " the failure frontier; retry skipped"
+                )
+                self.retries_skipped_budget += len(expired.requests)
+                terminal.append((expired, expired_error))
+                outcomes.extend(
+                    self._outcomes(
+                        expired, None, STATUS_SHARD_FAILED, expired_error, fallback
+                    )
+                )
+                if batch is None:
+                    continue
             survivors = sum(1 for s in self.shards.values() if s.healthy)
             if batch.retries > survivors:
                 # Cascade cap: a batch cannot meaningfully retry more
@@ -267,33 +348,81 @@ class InferenceWorkerPool:
                 # — counting already-dead shards (the old
                 # ``len(self.shards)`` bound) let a batch burn retries on
                 # targets that no longer exist.
+                cap_error = (
+                    f"batch {batch.batch_id} exhausted {batch.retries}"
+                    " failover retries"
+                )
+                terminal.append((batch, cap_error))
                 outcomes.extend(
-                    self._outcomes(
-                        batch,
-                        None,
-                        STATUS_SHARD_FAILED,
-                        f"batch {batch.batch_id} exhausted {batch.retries}"
-                        " failover retries",
-                        fallback,
-                    )
+                    self._outcomes(batch, None, STATUS_SHARD_FAILED, cap_error, fallback)
                 )
                 continue
             try:
                 regrouped = self._reroute(batch, shard.shard_id, fallback)
             except ShardError as routing_exc:
+                terminal.append((batch, str(routing_exc)))
                 outcomes.extend(
                     self._outcomes(
                         batch, None, STATUS_SHARD_FAILED, str(routing_exc), fallback
                     )
                 )
                 continue
+            rerouted.append(batch)
             for retry in regrouped:
                 retries_by_target.setdefault(retry.shard_id, []).append(retry)
+        # The dead shard's log records what happened to its unfinished
+        # work: rerouted batches as a retried marker window (terminal
+        # leaves land on the survivor's chain), dead-end batches as an
+        # aborted shard-failed window.
+        self._commit(
+            shard.shard_id,
+            rerouted,
+            [None] * len(rerouted),
+            status=STATUS_RETRIED,
+            aborted=True,
+            error=str(exc),
+        )
+        self._commit(
+            shard.shard_id,
+            [batch for batch, _ in terminal],
+            [None] * len(terminal),
+            status=STATUS_SHARD_FAILED,
+            aborted=True,
+            error="; ".join(dict.fromkeys(err for _, err in terminal)) or None,
+        )
         # Retries share one window per surviving shard, so re-dispatched
         # batches keep the staged pipeline's cross-batch overlap.
         for target in sorted(retries_by_target):
             outcomes.extend(self._dispatch_on(target, retries_by_target[target]))
         return outcomes
+
+    def _prune_exhausted(
+        self, batch: ScheduledBatch, fallback: float
+    ) -> tuple[ScheduledBatch | None, ScheduledBatch | None]:
+        """Split a failed batch into (retryable, budget-exhausted) halves.
+
+        A request whose class deadline (``arrival + budget``) has already
+        passed at the failure frontier cannot complete in budget no matter
+        which survivor serves it — retrying would spend a healthy shard's
+        serialized enclave on a guaranteed SLO miss.  Either half may be
+        ``None``; without an SLO policy the batch is returned untouched
+        (infinite budgets never expire).
+        """
+        if self.slo is None:
+            return batch, None
+        expired = [
+            req
+            for req in batch.requests
+            if req.arrival_time + self.slo.budget_for(req.tenant) <= fallback
+        ]
+        if not expired:
+            return batch, None
+        expired_ids = {id(req) for req in expired}
+        alive = [req for req in batch.requests if id(req) not in expired_ids]
+        expired_batch = dataclasses.replace(batch, requests=expired)
+        if not alive:
+            return None, expired_batch
+        return dataclasses.replace(batch, requests=alive), expired_batch
 
     def _reroute(
         self, batch: ScheduledBatch, failed_shard: int, not_before: float

@@ -222,3 +222,107 @@ def test_serve_rejects_deadline_ranker_without_slo(capsys):
     rc = main(["serve", "--model", "tiny", "--stage-ranker", "deadline"])
     assert rc == 2
     assert "--slo-budget" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the audit trail behind the CLI
+# ----------------------------------------------------------------------
+def _audited_serve(tmp_path, capsys, n=12):
+    rc = main(
+        [
+            "serve",
+            "--model", "tiny",
+            "--requests", str(n),
+            "--tenants", "3",
+            "--virtual-batch", "4",
+            "--num-shards", "2",
+            "--seed", "0",
+            "--audit-log", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audit chain heads" in out
+    assert f"committed to {tmp_path}" in out
+    return out
+
+
+def test_serve_audit_then_check_chain(tmp_path, capsys):
+    _audited_serve(tmp_path, capsys)
+    rc = main(["audit", "check-chain", "--log-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chain OK" in out
+    assert "shard 0" in out and "shard 1" in out
+
+
+def test_prove_then_verify_roundtrip_and_tamper(tmp_path, capsys):
+    _audited_serve(tmp_path, capsys)
+    proof_path = tmp_path / "proof.json"
+    rc = main(
+        [
+            "audit", "prove",
+            "--log-dir", str(tmp_path),
+            "--request-id", "5",
+            "--out", str(proof_path),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    assert proof_path.exists()
+
+    rc = main(["audit", "verify", "--proof", str(proof_path)])
+    assert rc == 0
+    assert "PROOF OK" in capsys.readouterr().out
+
+    # Verifying against the wrong root must fail with a nonzero exit.
+    import json as _json
+
+    blob = _json.loads(proof_path.read_text())
+    blob["shard_root"] = "0" * 64
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(_json.dumps(blob))
+    rc = main(["audit", "verify", "--proof", str(bad_path)])
+    assert rc == 1
+    assert "PROOF FAILED" in capsys.readouterr().out
+
+
+def test_audit_replay_matches_committed_digests(tmp_path, capsys):
+    _audited_serve(tmp_path, capsys)
+    rc = main(
+        ["audit", "replay", "--log-dir", str(tmp_path), "--request-id", "3"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "MATCH" in out
+
+
+def test_tampered_log_fails_check_chain_and_recovers(tmp_path, capsys):
+    _audited_serve(tmp_path, capsys)
+    log_path = next(tmp_path.glob("shard*.audit.jsonl"))
+    lines = log_path.read_text().splitlines()
+    # Truncate the final line mid-record: strict check fails...
+    log_path.write_text("\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]) + "\n")
+    rc = main(["audit", "check-chain", "--log-dir", str(tmp_path)])
+    assert rc == 2
+    assert capsys.readouterr().err
+    # ...and --recover keeps the longest valid prefix, reporting the drop.
+    rc = main(["audit", "check-chain", "--log-dir", str(tmp_path), "--recover"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "dropped" in out
+
+
+def test_audit_unknown_request_errors_cleanly(tmp_path, capsys):
+    _audited_serve(tmp_path, capsys)
+    rc = main(
+        ["audit", "prove", "--log-dir", str(tmp_path), "--request-id", "999"]
+    )
+    assert rc == 2
+    assert "appears in no shard" in capsys.readouterr().err
+
+
+def test_audit_empty_dir_errors_cleanly(tmp_path, capsys):
+    rc = main(["audit", "check-chain", "--log-dir", str(tmp_path)])
+    assert rc == 2
+    assert "no shard" in capsys.readouterr().err

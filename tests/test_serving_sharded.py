@@ -397,3 +397,91 @@ def test_injected_hardware_requires_single_shard():
 def test_num_shards_below_one_is_rejected():
     with pytest.raises(ConfigurationError):
         DarKnightConfig(num_shards=0)
+
+
+def test_budget_exhausted_retries_are_skipped_not_bounced():
+    """A failover retry whose class budget already expired at the failure
+    frontier must terminate (counted) instead of burning a survivor;
+    budget-holding co-batched requests still retry and complete."""
+    from repro.serving import (
+        STATUS_SHARD_FAILED,
+        InferenceWorkerPool,
+        PendingRequest,
+        ScheduledBatch,
+        SloClass,
+        SloPolicy,
+    )
+    from repro.sharding import EnclaveShard
+
+    slo = SloPolicy(
+        classes={"tight": SloClass(name="tight", latency_budget=1e-9)},
+        assignments={"hurried": "tight"},
+    )
+    dk = DarKnightConfig(virtual_batch_size=2, seed=0)
+    shards = [EnclaveShard.provision(i, _tiny_net(), dk) for i in range(2)]
+    pool = InferenceWorkerPool(shards=shards, slo=slo)
+    shards[0].fail_after(1)
+    rng = np.random.default_rng(4)
+
+    def _pending(rid, tenant):
+        return PendingRequest(
+            request_id=rid, tenant=tenant, x=rng.normal(size=16),
+            arrival_time=0.0, enqueue_time=0.0,
+        )
+
+    batches = [
+        ScheduledBatch(
+            batch_id=0,
+            requests=[_pending(0, "calm"), _pending(1, "calm")],
+            flush_time=0.0, trigger="size", slots=2, shard_id=0,
+        ),
+        ScheduledBatch(
+            batch_id=1,
+            requests=[_pending(2, "hurried"), _pending(3, "calm")],
+            flush_time=0.0, trigger="size", slots=2, shard_id=0,
+        ),
+    ]
+    outcomes = pool.dispatch_window(batches)
+    assert len(outcomes) == 4
+    by_id = {o.request_id: o for o in outcomes}
+    # The first batch completed before the shard died.
+    assert by_id[0].ok and by_id[1].ok
+    # The expired-budget request was skipped, with the reason recorded.
+    assert by_id[2].status == STATUS_SHARD_FAILED
+    assert "budget exhausted" in by_id[2].error
+    assert pool.retries_skipped_budget == 1
+    # Its co-batched budget-holder still failed over and completed —
+    # after the failure frontier, on the survivor.
+    assert by_id[3].ok
+    assert by_id[3].dispatch_time >= shards[0].timeline.free_at
+    assert shards[1].batches_run == 1
+
+
+def test_infinite_budgets_never_skip_retries():
+    """Without a policy (or with all-default classes) failover retries
+    behave exactly as before: everything bounces, nothing is skipped."""
+    from repro.serving import InferenceWorkerPool, PendingRequest, ScheduledBatch
+    from repro.sharding import EnclaveShard
+
+    dk = DarKnightConfig(virtual_batch_size=2, seed=0)
+    shards = [EnclaveShard.provision(i, _tiny_net(), dk) for i in range(2)]
+    pool = InferenceWorkerPool(shards=shards)
+    shards[0].fail_after(1)
+    rng = np.random.default_rng(5)
+    batches = [
+        ScheduledBatch(
+            batch_id=b,
+            requests=[
+                PendingRequest(
+                    request_id=2 * b + i, tenant=f"t{i}", x=rng.normal(size=16),
+                    arrival_time=0.0, enqueue_time=0.0,
+                )
+                for i in range(2)
+            ],
+            flush_time=0.0, trigger="size", slots=2, shard_id=0,
+        )
+        for b in range(2)
+    ]
+    outcomes = pool.dispatch_window(batches)
+    assert all(o.ok for o in outcomes)
+    assert pool.retries_skipped_budget == 0
