@@ -1,26 +1,43 @@
 """Microbenchmarks of the library's hot kernels (real wall-clock timing).
 
 Unlike the exhibit benches (which assert *modeled* shapes), these time the
-actual numpy implementations that every experiment runs on: the chunked
-field matmul against plain float matmul (the price of overflow-safe modular
-arithmetic), and the encode/decode primitives at a realistic layer size.
-Useful for regression-tracking the simulator's own performance.
+actual numpy implementations that every experiment runs on: the prime-field
+GEMM in both backends (the generic chunked oracle vs the limb-decomposed
+BLAS path) against plain float matmul, the encode/decode primitives at a
+realistic layer size, Vandermonde/elimination coefficient generation, and
+the batched conv-as-GEMM lowering.  Useful for regression-tracking the
+simulator's own performance: CI appends the ``--benchmark-json`` output of
+this file to ``BENCH_kernels.json`` via ``benchmarks/check_regression.py``,
+which fails the build when a tracked kernel regresses.
+
+The limb backend must be *exactly* as correct as the generic one, so every
+timed call also cross-checks its result; the speedup acceptance test lives
+here (not in tier-1) because wall-clock ratios belong in the bench lane.
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.fieldmath import FieldRng, PrimeField, field_matmul
 from repro.masking import CoefficientSet, ForwardDecoder, ForwardEncoder
+from repro.nn.functional import conv2d_via_matmul
 
 FIELD = PrimeField()
 RNG = FieldRng(FIELD, seed=0)
 N = 96
+N_BIG = 256
 
 
 @pytest.fixture(scope="module")
 def operands():
     return RNG.uniform((N, N)), RNG.uniform((N, N))
+
+
+@pytest.fixture(scope="module")
+def big_operands():
+    return RNG.uniform((N_BIG, N_BIG)), RNG.uniform((N_BIG, N_BIG))
 
 
 def test_field_matmul_speed(benchmark, operands):
@@ -36,19 +53,73 @@ def test_float_matmul_reference_speed(benchmark, operands):
     assert result.shape == (N, N)
 
 
-def test_forward_encode_speed(benchmark):
+def test_field_matmul_generic_speed_n256(benchmark, big_operands):
+    a, b = big_operands
+    result = benchmark(lambda: field_matmul(FIELD, a, b, backend="generic"))
+    assert result.shape == (N_BIG, N_BIG)
+
+
+def test_field_matmul_limb_speed_n256(benchmark, big_operands):
+    a, b = big_operands
+    result = benchmark(lambda: field_matmul(FIELD, a, b, backend="limb"))
+    assert result.shape == (N_BIG, N_BIG)
+    assert np.array_equal(result, field_matmul(FIELD, a, b, backend="generic"))
+
+
+def test_float_matmul_reference_speed_n256(benchmark, big_operands):
+    a, b = big_operands
+    af, bf = a.astype(np.float64), b.astype(np.float64)
+    result = benchmark(lambda: af @ bf)
+    assert result.shape == (N_BIG, N_BIG)
+
+
+def _best_of(fn, reps):
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_limb_backend_speedup_acceptance(big_operands, quick):
+    """The limb path must beat the generic oracle by >= 3x at N=256.
+
+    (Measured ~8x on the reference container; 3 leaves slack for noisy
+    CI neighbours.  Min-of-reps so a single descheduled rep cannot fail
+    the gate.)
+    """
+    a, b = big_operands
+    reps = 3 if quick else 5
+    generic = _best_of(lambda: field_matmul(FIELD, a, b, backend="generic"), reps)
+    limb = _best_of(lambda: field_matmul(FIELD, a, b, backend="limb"), reps)
+    speedup = generic / limb
+    print(f"\nfield_matmul N={N_BIG}: generic {generic * 1e3:.2f}ms,"
+          f" limb {limb * 1e3:.2f}ms, speedup {speedup:.1f}x")
+    assert speedup >= 3.0
+
+
+@pytest.mark.parametrize("backend", ["generic", "limb"])
+def test_forward_encode_speed(benchmark, backend):
+    from repro.fieldmath import use_backend
+
     coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
     encoder = ForwardEncoder(coeffs, RNG)
     x = RNG.uniform((4, 3, 32, 32))
-    batch = benchmark(lambda: encoder.encode(x))
+    with use_backend(backend):
+        batch = benchmark(lambda: encoder.encode(x))
     assert batch.shares.shape[0] == 6
 
 
-def test_forward_decode_speed(benchmark):
+@pytest.mark.parametrize("backend", ["generic", "limb"])
+def test_forward_decode_speed(benchmark, backend):
+    from repro.fieldmath import use_backend
+
     coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
     decoder = ForwardDecoder(coeffs)
     outputs = RNG.uniform((6, 3, 32, 32))
-    decoded = benchmark(lambda: decoder.decode(outputs))
+    with use_backend(backend):
+        decoded = benchmark(lambda: decoder.decode(outputs))
     assert decoded.shape == (4, 3, 32, 32)
 
 
@@ -57,3 +128,12 @@ def test_coefficient_generation_speed(benchmark):
         lambda: CoefficientSet.generate(RNG, k=4, m=2, extra_shares=1)
     )
     assert result.verify()
+
+
+def test_conv2d_batched_gemm_speed(benchmark):
+    """The whole-batch conv lowering: one stacked GEMM per layer call."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 3, 16, 16))
+    w = rng.standard_normal((16, 3, 3, 3))
+    out = benchmark(lambda: conv2d_via_matmul(x, w, np.matmul, stride=1, pad=1))
+    assert out.shape == (8, 16, 16, 16)

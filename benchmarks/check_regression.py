@@ -1,0 +1,172 @@
+"""Gate CI on the kernel microbenchmarks' performance trajectory.
+
+Reads one pytest-benchmark JSON artifact (the ``--benchmark-json`` output
+of ``bench_microbench_kernels.py``), normalizes each tracked kernel's
+best-of-run (``min``) time by the plain float GEMM reference measured in
+the *same* run, and compares those machine-independent ratios against the
+median of the last few entries in the repo's trajectory file
+(``BENCH_kernels.json``).  A tracked kernel whose ratio grew by more than
+``--threshold`` (default 25%) fails the build: the limb backend quietly
+losing its BLAS speedup is a regression even while every correctness test
+stays green.
+
+Normalizing by the in-run float GEMM cancels the host's BLAS speed, CPU
+frequency, and noisy-neighbour load — the ratio asks "how many float
+matmuls does this field kernel cost?", which is stable across machines
+where raw seconds are not.  ``min`` (not mean) is compared because the
+best rep is the least contaminated by scheduling noise.
+
+Usage::
+
+    python benchmarks/check_regression.py bench-results/microbench_kernels.json
+    python benchmarks/check_regression.py results.json --append  # extend history
+
+``--append`` adds the new entry to the trajectory file on a passing run
+(and seeds the file when it does not exist yet), so the history grows one
+point per CI run.  All JSON I/O is strict: non-finite constants are
+rejected on read and refused on write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Kernel timings gated against the trajectory, keyed by benchmark name.
+TRACKED = (
+    "test_field_matmul_speed",
+    "test_field_matmul_limb_speed_n256",
+    "test_forward_encode_speed[limb]",
+    "test_forward_decode_speed[limb]",
+    "test_coefficient_generation_speed",
+    "test_conv2d_batched_gemm_speed",
+)
+
+#: The in-run normalizer: a plain float64 GEMM at the same N=256 size.
+REFERENCE = "test_float_matmul_reference_speed_n256"
+
+#: Trajectory entries consulted for the baseline median.
+HISTORY_WINDOW = 5
+
+
+def _reject(constant: str):
+    raise ValueError(f"non-strict JSON constant {constant!r}")
+
+
+def _load_strict(path: Path):
+    return json.loads(path.read_text(), parse_constant=_reject)
+
+
+def extract_ratios(bench_json: dict) -> dict:
+    """``{kernel name: min_seconds / reference_min_seconds}`` for one run."""
+    mins = {
+        b["name"]: float(b["stats"]["min"]) for b in bench_json["benchmarks"]
+    }
+    if REFERENCE not in mins:
+        raise SystemExit(f"reference benchmark {REFERENCE!r} missing from run")
+    ref = mins[REFERENCE]
+    if not ref > 0:
+        raise SystemExit(f"reference time must be > 0, got {ref}")
+    missing = [name for name in TRACKED if name not in mins]
+    if missing:
+        raise SystemExit(f"tracked benchmarks missing from run: {missing}")
+    return {name: mins[name] / ref for name in TRACKED}
+
+
+def baseline_ratios(history: dict) -> dict:
+    """Median ratio per kernel over the last ``HISTORY_WINDOW`` entries."""
+    window = history.get("entries", [])[-HISTORY_WINDOW:]
+    out = {}
+    for name in TRACKED:
+        samples = [e["ratios"][name] for e in window if name in e.get("ratios", {})]
+        if samples:
+            out[name] = statistics.median(samples)
+    return out
+
+
+def check(ratios: dict, baseline: dict, threshold: float) -> list[str]:
+    """Human-readable failures for kernels slower than baseline allows."""
+    failures = []
+    for name, ratio in ratios.items():
+        base = baseline.get(name)
+        if base is None:
+            continue  # first sighting: nothing to regress against
+        allowed = base * (1.0 + threshold)
+        if ratio > allowed:
+            failures.append(
+                f"{name}: ratio {ratio:.3f} exceeds baseline median"
+                f" {base:.3f} by more than {threshold:.0%}"
+                f" (allowed {allowed:.3f})"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="trajectory file (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max allowed slowdown vs the baseline median (default 0.25)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append this run to the trajectory file when the gate passes",
+    )
+    args = parser.parse_args(argv)
+
+    bench_json = _load_strict(args.results)
+    ratios = extract_ratios(bench_json)
+    history = (
+        _load_strict(args.history)
+        if args.history.exists()
+        else {"description": "kernel microbench trajectory (see"
+              " benchmarks/check_regression.py)", "entries": []}
+    )
+    baseline = baseline_ratios(history)
+
+    for name in TRACKED:
+        base_txt = f"{baseline[name]:.3f}" if name in baseline else "none"
+        print(f"{name}: ratio {ratios[name]:.3f} (baseline median {base_txt})")
+
+    failures = check(ratios, baseline, args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+
+    if args.append:
+        history["entries"].append(
+            {
+                "datetime": bench_json.get("datetime"),
+                "reference_seconds": float(
+                    next(
+                        b["stats"]["min"]
+                        for b in bench_json["benchmarks"]
+                        if b["name"] == REFERENCE
+                    )
+                ),
+                "ratios": ratios,
+            }
+        )
+        args.history.write_text(
+            json.dumps(history, indent=2, allow_nan=False) + "\n"
+        )
+        print(f"appended entry #{len(history['entries'])} to {args.history}")
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

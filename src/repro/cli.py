@@ -188,6 +188,13 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--queue-capacity", type=int, default=256, help="bounded queue size"
     )
     parser.add_argument(
+        "--field-backend", default="limb", choices=["limb", "generic"],
+        help="field-op backend for every masked GEMM: 'limb' (float64 BLAS"
+             " GEMMs over 13-bit limbs with Barrett reduction, the fast"
+             " default) or 'generic' (chunked int64 oracle); results are"
+             " bit-identical either way",
+    )
+    parser.add_argument(
         "--integrity", action="store_true",
         help="add the redundant share and verify every GPU result",
     )
@@ -285,6 +292,7 @@ def _serve(args) -> int:
     dk = DarKnightConfig(
         virtual_batch_size=args.virtual_batch,
         integrity=args.integrity,
+        field_backend=args.field_backend,
         pipeline_depth=args.pipeline_depth,
         stage_ranker=args.stage_ranker,
         num_shards=args.num_shards,

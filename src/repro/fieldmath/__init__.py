@@ -5,9 +5,19 @@ The public surface of this subpackage is:
 * :class:`~repro.fieldmath.prime.PrimeField` — element-wise field ops;
 * :func:`~repro.fieldmath.linalg.field_matmul` and friends — overflow-safe
   matrix algebra mod ``p``;
-* :class:`~repro.fieldmath.random.FieldRng` — seeded mask/coefficient sampling.
+* :class:`~repro.fieldmath.random.FieldRng` — seeded mask/coefficient sampling;
+* :mod:`~repro.fieldmath.kernels` — pluggable field-op backends (the default
+  ``"limb"`` backend runs ``field_matmul`` as float64 BLAS GEMMs over 13-bit
+  limbs with Barrett reduction, bit-identical to the ``"generic"`` oracle).
 """
 
+from repro.fieldmath.kernels import (
+    BarrettReducer,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.fieldmath.linalg import (
     all_column_subsets_full_rank,
     determinant,
@@ -36,4 +46,9 @@ __all__ = [
     "is_invertible",
     "vandermonde",
     "all_column_subsets_full_rank",
+    "BarrettReducer",
+    "default_backend_name",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
 ]

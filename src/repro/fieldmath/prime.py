@@ -17,6 +17,7 @@ raw ``np.dot`` on field elements.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -28,6 +29,22 @@ DEFAULT_PRIME: int = 2**25 - 39
 #: Maximum number of p^2-bounded products that can be summed in int64
 #: without overflow: floor(2**63 / p**2) with a 2x safety margin.
 SAFE_ACCUMULATION = 4096
+
+
+@lru_cache(maxsize=64)
+def _reducer(p: int):
+    """Cached Barrett reducer for ``p`` (import deferred to avoid a cycle)."""
+    from repro.fieldmath.kernels import barrett
+
+    return barrett(p)
+
+
+#: Element-count band where the float64 Barrett product reduction beats
+#: numpy's libdivide-backed scalar modulus (measured: below it, per-call
+#: ufunc overhead dominates; above it, the int64<->float64 conversions
+#: turn memory-bound).  Feature-sized masking/quantization tensors land
+#: squarely inside the band.
+_F64_MUL_BAND = (1024, 1 << 17)
 
 
 def _is_prime(n: int) -> bool:
@@ -82,7 +99,13 @@ class PrimeField:
     # element construction
     # ------------------------------------------------------------------
     def element(self, values) -> np.ndarray:
-        """Reduce arbitrary integers (array-like) into canonical ``[0, p)``."""
+        """Reduce arbitrary integers (array-like) into canonical ``[0, p)``.
+
+        Uses numpy's scalar-modulus kernel, which already lowers to a
+        libdivide multiply+shift (Barrett) — the full ``int64`` range it
+        must accept exceeds the float64 reducer's ``2**53`` exactness
+        domain, and (measured) no multi-pass reimplementation beats it.
+        """
         arr = np.asarray(values, dtype=np.int64)
         return np.mod(arr, self.p)
 
@@ -109,24 +132,56 @@ class PrimeField:
     # ring operations
     # ------------------------------------------------------------------
     def add(self, a, b) -> np.ndarray:
-        """Element-wise ``(a + b) mod p``."""
-        return np.mod(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), self.p)
+        """Element-wise ``(a + b) mod p`` — division-free.
+
+        Canonical inputs sum into ``[0, 2p)``, so a single conditional
+        subtract canonicalises the result without any modulus at all.
+        Non-canonical inputs fall back to the generic reduction.
+        """
+        total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+        if total.ndim == 0 or np.any(total < 0) or np.any(total >= 2 * self.p):
+            return np.mod(total, self.p)
+        np.subtract(total, self.p, out=total, where=total >= self.p)
+        return total
 
     def sub(self, a, b) -> np.ndarray:
-        """Element-wise ``(a - b) mod p``."""
-        return np.mod(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), self.p)
+        """Element-wise ``(a - b) mod p`` — division-free.
+
+        Canonical inputs difference into ``(-p, p)``; one conditional add
+        of ``p`` canonicalises it.
+        """
+        diff = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+        if diff.ndim == 0 or np.any(diff <= -self.p) or np.any(diff >= self.p):
+            return np.mod(diff, self.p)
+        np.add(diff, self.p, out=diff, where=diff < 0)
+        return diff
 
     def neg(self, a) -> np.ndarray:
-        """Element-wise additive inverse."""
-        return np.mod(-np.asarray(a, dtype=np.int64), self.p)
+        """Element-wise additive inverse (conditional correction, no modulus)."""
+        flipped = -np.asarray(a, dtype=np.int64)
+        if flipped.ndim == 0 or np.any(flipped > 0) or np.any(flipped <= -self.p):
+            return np.mod(flipped, self.p)
+        np.add(flipped, self.p, out=flipped, where=flipped < 0)
+        return flipped
 
     def mul(self, a, b) -> np.ndarray:
         """Element-wise ``(a * b) mod p``.
 
         Inputs must be canonical (``< p``) so the product stays below
-        ``p**2 < 2**50`` and cannot overflow ``int64``.
+        ``p**2 < 2**50`` and cannot overflow ``int64``.  In the measured
+        sweet spot (see :data:`_F64_MUL_BAND`) the product is reduced by
+        the float64 Barrett multiply+shift — products below ``2**52`` are
+        exact in float64, so the result is bit-identical; outside the
+        band numpy's own libdivide multiply+shift kernel wins and is kept.
         """
-        return np.mod(np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64), self.p)
+        prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        if (
+            self.p < (1 << 26)
+            and _F64_MUL_BAND[0] <= prod.size <= _F64_MUL_BAND[1]
+        ):
+            reduced = _reducer(self.p).reduce_f64(prod.astype(np.float64))
+            return reduced.astype(np.int64)
+        return np.mod(prod, self.p)
 
     def square(self, a) -> np.ndarray:
         """Element-wise ``a**2 mod p``."""

@@ -22,11 +22,23 @@ from repro.nn import functional as F
 
 
 class FieldKernels:
-    """Bilinear ops over ``F_p`` on single-share tensors."""
+    """Bilinear ops over ``F_p`` on single-share tensors.
 
-    def __init__(self, field: PrimeField) -> None:
+    Parameters
+    ----------
+    field:
+        The prime field shares live in.
+    backend:
+        Field-op backend name (:mod:`repro.fieldmath.kernels`): ``None``
+        follows the process default (normally ``"limb"`` — float64 BLAS
+        GEMMs over 13-bit limbs, bit-identical to ``"generic"``), a name
+        pins this kernel set regardless of the global default.
+    """
+
+    def __init__(self, field: PrimeField, backend: str | None = None) -> None:
         self.field = field
-        self._matmul = lambda a, b: field_matmul(field, a, b)
+        self.backend = backend
+        self._matmul = lambda a, b: field_matmul(field, a, b, backend=backend)
 
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Plain field matrix product."""

@@ -13,6 +13,11 @@ materialised anywhere, which doubles as secure aggregation.
 
 ``B`` is public: combining public gradients ``δ(i)`` with public scalars has
 no privacy implication (the sensitive factor is ``x̄(j)``, already masked).
+
+Every product here funnels through :func:`repro.fieldmath.field_matmul`, so
+the combine/decode GEMMs run on the configured field-op backend (the default
+``"limb"`` backend executes them as float64 BLAS GEMMs, bit-identical to the
+generic chunked path).
 """
 
 from __future__ import annotations

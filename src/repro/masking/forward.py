@@ -98,11 +98,14 @@ class ForwardEncoder:
             if not field.is_canonical(noise):
                 raise EncodingError("noise must be canonical field elements")
 
-        # Flatten features, stack sources as columns: [X R] is (features, k+m).
+        # One GEMM in the transposed form shares = A^T @ [X R]: the
+        # (n_sources, features) source block stays contiguous and no
+        # (features, n_shares) intermediate needs re-transposing — same
+        # exact field sums as (flat^T @ A)^T, so bit-identical shares.
         sources = np.concatenate([inputs, noise], axis=0)
-        flat = sources.reshape(coeffs.n_sources, -1).T
-        shares_flat = field_matmul(field, flat, coeffs.a)  # (features, n_shares)
-        shares = shares_flat.T.reshape((coeffs.n_shares,) + feature_shape)
+        flat = sources.reshape(coeffs.n_sources, -1)  # (k+m, features)
+        shares_flat = field_matmul(field, coeffs.a.T, flat)  # (n_shares, features)
+        shares = shares_flat.reshape((coeffs.n_shares,) + feature_shape)
         return EncodedBatch(shares=shares, noise=noise, coefficients=coeffs)
 
 
@@ -144,9 +147,11 @@ class ForwardDecoder:
         subset = coeffs.primary_subset if subset is None else tuple(subset)
         decode_matrix = coeffs.decoding_matrix(subset)
         out_shape = outputs.shape[1:]
-        selected = outputs[list(subset)].reshape(len(subset), -1).T
-        recovered = field_matmul(field, selected, decode_matrix)  # (features, k+m)
-        recovered = recovered.T.reshape((coeffs.n_sources,) + out_shape)
+        # Transposed decode [Y | WR] = D^T @ Ȳ_J: one GEMM on contiguous
+        # rows, no feature-major intermediate (bit-identical sums).
+        selected = outputs[list(subset)].reshape(len(subset), -1)
+        recovered = field_matmul(field, decode_matrix.T, selected)  # (k+m, features)
+        recovered = recovered.reshape((coeffs.n_sources,) + out_shape)
         results = recovered[: coeffs.k]
         if return_noise_product:
             return results, recovered[coeffs.k :]

@@ -96,7 +96,14 @@ def col2im(
 
 
 def conv2d_via_matmul(x, w, matmul, stride: int = 1, pad: int = 0) -> np.ndarray:
-    """Forward convolution: ``(N,C,H,W) * (F,C,KH,KW) -> (N,F,OH,OW)``."""
+    """Forward convolution: ``(N,C,H,W) * (F,C,KH,KW) -> (N,F,OH,OW)``.
+
+    The whole batch runs as *one* stacked GEMM: the per-sample patch
+    matrices are laid side by side into ``(C*KH*KW, N*OH*OW)`` so the
+    injected ``matmul`` (float BLAS or the field's limb kernels) sees a
+    single large product instead of ``N`` small ones.  Each output element
+    is the same patch-dot-filter contraction as the per-sample form.
+    """
     n = x.shape[0]
     f, c, kh, kw = w.shape
     if x.shape[1] != c:
@@ -105,35 +112,46 @@ def conv2d_via_matmul(x, w, matmul, stride: int = 1, pad: int = 0) -> np.ndarray
     ow = conv_output_size(x.shape[3], kw, stride, pad)
     cols = im2col(x, kh, kw, stride, pad)  # (N, C*KH*KW, OH*OW)
     w_flat = w.reshape(f, c * kh * kw)
-    outs = [matmul(w_flat, cols[i]) for i in range(n)]
-    return np.stack(outs).reshape(n, f, oh, ow)
+    stacked = cols.transpose(1, 0, 2).reshape(c * kh * kw, n * oh * ow)
+    out = matmul(w_flat, stacked)  # (F, N*OH*OW)
+    return np.ascontiguousarray(out.reshape(f, n, oh, ow).transpose(1, 0, 2, 3))
 
 
 def conv2d_grad_w(
     x, grad_out, kh: int, kw: int, matmul, stride: int = 1, pad: int = 0
 ) -> np.ndarray:
-    """Weight gradient ``(F, C, KH, KW)`` of conv2d, summed over the batch."""
+    """Weight gradient ``(F, C, KH, KW)`` of conv2d, summed over the batch.
+
+    Batched: the per-sample ``g @ cols[i].T`` products *and* the batch sum
+    collapse into one ``(F, N*Q) @ (N*Q, P)`` GEMM — the contraction axis
+    runs over samples and positions at once.  Over the field this is
+    bit-identical (exact integer arithmetic is order-independent); on
+    floats it only reorders the accumulation.
+    """
     n, c = x.shape[0], x.shape[1]
     f = grad_out.shape[1]
     cols = im2col(x, kh, kw, stride, pad)  # (N, C*KH*KW, OH*OW)
-    total = None
-    for i in range(n):
-        g = grad_out[i].reshape(f, -1)  # (F, OH*OW)
-        term = matmul(g, cols[i].T)  # (F, C*KH*KW)
-        total = term if total is None else total + term
+    g = grad_out.reshape(n, f, -1).transpose(1, 0, 2).reshape(f, -1)  # (F, N*Q)
+    stacked = cols.transpose(0, 2, 1).reshape(-1, c * kh * kw)  # (N*Q, C*KH*KW)
+    total = matmul(g, stacked)  # (F, C*KH*KW), summed over batch and positions
     return total.reshape(f, c, kh, kw)
 
 
 def conv2d_grad_x(
     w, grad_out, x_shape, matmul, stride: int = 1, pad: int = 0
 ) -> np.ndarray:
-    """Input gradient of conv2d: ``W^T``-correlation of the output gradient."""
+    """Input gradient of conv2d: ``W^T``-correlation of the output gradient.
+
+    Batched like the forward pass: one ``(P, F) @ (F, N*Q)`` GEMM produces
+    every sample's patch gradients, which ``col2im`` scatters back.
+    """
     n = grad_out.shape[0]
     f, c, kh, kw = w.shape
     w_flat = w.reshape(f, c * kh * kw)
-    grads = [matmul(w_flat.T, grad_out[i].reshape(f, -1)) for i in range(n)]
-    cols = np.stack(grads)  # (N, C*KH*KW, OH*OW)
-    return col2im(cols, x_shape, kh, kw, stride, pad)
+    g = grad_out.reshape(n, f, -1).transpose(1, 0, 2).reshape(f, -1)  # (F, N*Q)
+    cols = matmul(w_flat.T, g)  # (C*KH*KW, N*Q)
+    cols = cols.reshape(c * kh * kw, n, -1).transpose(1, 0, 2)  # (N, C*KH*KW, Q)
+    return col2im(np.ascontiguousarray(cols), x_shape, kh, kw, stride, pad)
 
 
 def depthwise_conv2d(x, w, stride: int = 1, pad: int = 0) -> np.ndarray:

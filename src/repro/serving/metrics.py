@@ -28,9 +28,11 @@ from repro.serving.requests import (
 )
 from repro.serving.slo import SloPolicy
 
-#: ``record_shed`` kinds: refused at admission vs evicted from the queue.
+#: ``record_shed`` kinds: refused at admission, evicted from the queue,
+#: or refused because the class hit its admission quota.
 SHED_ADMISSION = "admission"
 SHED_EVICTED = "evicted"
+SHED_QUOTA = "quota"
 
 
 class ServerMetrics:
@@ -55,11 +57,13 @@ class ServerMetrics:
         self._attained_by_class: dict[str, int] = {}
         self.completed = 0
         self.shed = 0
-        #: ``shed`` split by who paid: the arrival (refused at admission)
-        #: or the backlog (evicted for a higher-priority arrival).  The
-        #: two always sum to ``shed``.
+        #: ``shed`` split by who paid: the arrival (refused at admission),
+        #: the backlog (evicted for a higher-priority arrival), or the
+        #: arrival's class (over its admission quota).  The three always
+        #: sum to ``shed``.
         self.shed_at_admission = 0
         self.shed_evicted = 0
+        self.shed_quota = 0
         self.integrity_failures = 0
         self.decode_errors = 0
         self.shard_failures = 0
@@ -136,15 +140,18 @@ class ServerMetrics:
         """Account one request lost to backpressure.
 
         ``kind`` says who paid for the full queue: :data:`SHED_ADMISSION`
-        (the arrival was refused — the classic, and default, case) or
+        (the arrival was refused — the classic, and default, case),
         :data:`SHED_EVICTED` (a pending request was evicted to admit a
-        higher-priority arrival).
+        higher-priority arrival), or :data:`SHED_QUOTA` (the arrival's
+        class already held its admission share of the queue).
         """
-        if kind not in (SHED_ADMISSION, SHED_EVICTED):
+        if kind not in (SHED_ADMISSION, SHED_EVICTED, SHED_QUOTA):
             raise ValueError(f"unknown shed kind {kind!r}")
         self.shed += 1
         if kind == SHED_EVICTED:
             self.shed_evicted += 1
+        elif kind == SHED_QUOTA:
+            self.shed_quota += 1
         else:
             self.shed_at_admission += 1
         self._shed_by_tenant[tenant] = self._shed_by_tenant.get(tenant, 0) + 1
@@ -263,6 +270,7 @@ class ServerMetrics:
             "shed": self.shed,
             "shed_at_admission": self.shed_at_admission,
             "shed_evicted": self.shed_evicted,
+            "shed_quota": self.shed_quota,
             "integrity_failures": self.integrity_failures,
             "decode_errors": self.decode_errors,
             "shard_failures": self.shard_failures,
@@ -313,6 +321,7 @@ class ServerMetrics:
         if snap["slo_classes"]:
             rows.append(["shed at admission", snap["shed_at_admission"]])
             rows.append(["evicted by class", snap["shed_evicted"]])
+            rows.append(["shed over quota", snap["shed_quota"]])
             rows.append(["SLO attainment", _fmt(snap["slo_attainment"], digits=3)])
             for name, cls_snap in snap["slo_classes"].items():
                 budget = cls_snap["latency_budget"]

@@ -12,6 +12,14 @@ so a best-effort backlog can no longer block premium traffic.  Equal
 priorities never evict each other — without a policy (or with every
 tenant in the default class) the arrival is shed exactly as before.
 
+Admission is also *quota*-aware: a class with ``admission_share < 1``
+may occupy at most that share of the queue's capacity, so a premium
+flood can no longer evict every best-effort request (and vice versa a
+best-effort backlog cannot monopolise the queue).  Quota sheds raise
+:class:`~repro.errors.QuotaExceededError` and are counted separately
+(``quota_shed_count``) so telemetry distinguishes "queue full" from
+"class over its share".
+
 The queue is also the flush timer's source of truth: with per-class
 budgets, the scheduler's deadline is the *minimum remaining budget* among
 pending requests (:meth:`RequestQueue.earliest_deadline`), not one global
@@ -23,7 +31,7 @@ from __future__ import annotations
 import math
 from collections import deque
 
-from repro.errors import BackpressureError, ConfigurationError
+from repro.errors import BackpressureError, ConfigurationError, QuotaExceededError
 from repro.serving.requests import PendingRequest
 from repro.serving.slo import SloPolicy
 
@@ -60,6 +68,10 @@ class RequestQueue:
         #: banked from earlier turns (bounded by its class weight).
         self._drain_credit: dict[str, float] = {}
         self._depth = 0
+        #: Pending requests per SLO class (admission-quota accounting).
+        self._class_depth: dict[str, int] = {}
+        #: Arrivals refused because their class hit its admission quota.
+        self.quota_shed_count = 0
         #: Arrivals refused outright at admission (no eviction possible).
         self.shed_count = 0
         #: Pending requests evicted to admit a higher-priority arrival.
@@ -81,11 +93,27 @@ class RequestQueue:
 
         Raises
         ------
+        QuotaExceededError
+            When the arrival's class already occupies its configured
+            ``admission_share`` of the queue (checked first: a class over
+            quota may not evict anybody to grow further).
         BackpressureError
             When ``capacity`` pending requests are already queued and no
             lower-priority victim exists.
         """
         evicted = None
+        cls = self.slo.class_for(request.tenant) if self.slo else None
+        if cls is not None and cls.admission_share < 1.0:
+            if self._class_depth.get(cls.name, 0) >= cls.admission_cap(self.capacity):
+                self.quota_shed_count += 1
+                self.shed_count += 1
+                raise QuotaExceededError(
+                    f"class {cls.name!r} holds {self._class_depth[cls.name]} of"
+                    f" its {cls.admission_cap(self.capacity)}-slot admission"
+                    f" quota (share {cls.admission_share} of {self.capacity});"
+                    f" shedding request {request.request_id}"
+                    f" from {request.tenant!r}"
+                )
         if self._depth >= self.capacity:
             priority = self.slo.priority_for(request.tenant) if self.slo else 0
             evicted = self.evict_newest_below(priority)
@@ -105,6 +133,8 @@ class RequestQueue:
             self._rotation.append(request.tenant)
         tenant_queue.append(request)
         self._depth += 1
+        if cls is not None:
+            self._class_depth[cls.name] = self._class_depth.get(cls.name, 0) + 1
         self.pushed_count += 1
         return evicted
 
@@ -155,6 +185,7 @@ class RequestQueue:
         tenant = candidate[1]
         victim = self._queues[tenant].pop()
         self._depth -= 1
+        self._note_removed(tenant, 1)
         self.evicted_count += 1
         if not self._queues[tenant]:
             self._rotation.remove(tenant)
@@ -191,6 +222,7 @@ class RequestQueue:
             for _ in range(take):
                 out.append(tenant_queue.popleft())
             self._depth -= take
+            self._note_removed(tenant, take)
             if tenant_queue:
                 leftover = credit - take
                 if leftover > 0:
@@ -200,6 +232,17 @@ class RequestQueue:
                 self._rotation.append(tenant)
         return out
 
+    def _note_removed(self, tenant: str, count: int) -> None:
+        """Release ``count`` admission-quota slots held by ``tenant``."""
+        if self.slo is None or count == 0:
+            return
+        name = self.slo.class_for(tenant).name
+        remaining = self._class_depth.get(name, 0) - count
+        if remaining > 0:
+            self._class_depth[name] = remaining
+        else:
+            self._class_depth.pop(name, None)
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -207,6 +250,10 @@ class RequestQueue:
     def depth(self) -> int:
         """Pending requests across all tenants."""
         return self._depth
+
+    def depth_by_class(self) -> dict[str, int]:
+        """Pending requests per SLO class (empty without a policy)."""
+        return dict(self._class_depth)
 
     @property
     def tenants(self) -> list[str]:

@@ -35,7 +35,12 @@ import numpy as np
 from repro.audit import AuditConfig, AuditTrail
 from repro.comm import LinkModel
 from repro.enclave import EPC_USABLE_BYTES, Enclave
-from repro.errors import BackpressureError, ConfigurationError, ShardError
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    QuotaExceededError,
+    ShardError,
+)
 from repro.gpu import GpuCluster
 from repro.nn import Sequential
 from repro.pipeline.timing import StageCostModel
@@ -47,7 +52,12 @@ from repro.serving.adaptive import (
     epc_fitting_batch_size,
     estimate_slot_bytes,
 )
-from repro.serving.metrics import SHED_ADMISSION, SHED_EVICTED, ServerMetrics
+from repro.serving.metrics import (
+    SHED_ADMISSION,
+    SHED_EVICTED,
+    SHED_QUOTA,
+    ServerMetrics,
+)
 from repro.serving.queue import RequestQueue
 from repro.serving.requests import (
     STATUS_SHARD_FAILED,
@@ -456,7 +466,8 @@ class PrivateInferenceServer:
                 self._record_eviction(evicted, request)
             self.scheduler.observe_arrival(shard_id, now)
         except BackpressureError as exc:
-            self.metrics.record_shed(event.tenant, kind=SHED_ADMISSION)
+            kind = SHED_QUOTA if isinstance(exc, QuotaExceededError) else SHED_ADMISSION
+            self.metrics.record_shed(event.tenant, kind=kind)
             self._outcomes.append(
                 RequestOutcome(
                     request_id=request.request_id,

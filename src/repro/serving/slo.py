@@ -75,6 +75,13 @@ class SloClass:
         so premium tenants drain proportionally under contention instead
         of strictly one-per-turn.  The default ``1.0`` is bit-identical
         to the classic rotation.
+    admission_share:
+        Maximum fraction of the queue's capacity this class's pending
+        requests may occupy at admission (at least one slot is always
+        allowed).  Caps floods in *both* directions: a premium burst can
+        no longer evict every best-effort request out of the queue, and a
+        best-effort backlog cannot monopolise it either.  The default
+        ``1.0`` (no cap) is exactly the previous behavior.
     """
 
     name: str = DEFAULT_CLASS_NAME
@@ -82,6 +89,7 @@ class SloClass:
     priority: int = 0
     shed_weight: float = 1.0
     drain_weight: float = 1.0
+    admission_share: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -99,6 +107,14 @@ class SloClass:
                 f"drain weight must be >= 1 (a turn cannot shrink below one"
                 f" slot), got {self.drain_weight}"
             )
+        if not 0.0 < self.admission_share <= 1.0:
+            raise ConfigurationError(
+                f"admission share must be in (0, 1], got {self.admission_share}"
+            )
+
+    def admission_cap(self, capacity: int) -> int:
+        """Queue slots this class may occupy out of ``capacity`` (>= 1)."""
+        return max(1, int(self.admission_share * capacity))
 
     @property
     def flush_budget(self) -> float:
@@ -200,6 +216,7 @@ class SloPolicy:
                 "priority": cls.priority,
                 "shed_weight": cls.shed_weight,
                 "drain_weight": cls.drain_weight,
+                "admission_share": cls.admission_share,
                 "tenants": sorted(
                     t for t, n in self.assignments.items() if n == cls.name
                 ),

@@ -140,3 +140,23 @@ def test_snapshot_is_strict_json_everywhere():
     busy = ServerMetrics()
     busy.record_outcome(_ok(0, "a", arrival=2.0, completion=2.0))  # zero span
     json.loads(json.dumps(busy.snapshot()), parse_constant=_reject)
+
+
+def test_quota_sheds_are_counted_separately():
+    import pytest
+
+    from repro.serving.metrics import SHED_EVICTED, SHED_QUOTA
+    from repro.serving.slo import SloPolicy
+
+    metrics = ServerMetrics(slo=SloPolicy())
+    metrics.record_outcome(_ok(0, "a", 0.0, 0.01))
+    metrics.record_shed("b0", kind=SHED_QUOTA)
+    metrics.record_shed("b1", kind=SHED_EVICTED)
+    metrics.record_shed("b2")
+    assert metrics.shed == 3
+    assert metrics.shed_quota == 1
+    snap = metrics.snapshot()
+    assert snap["shed_quota"] == 1
+    assert "shed over quota" in metrics.render()
+    with pytest.raises(ValueError):
+        metrics.record_shed("b0", kind="bogus")

@@ -196,3 +196,109 @@ def test_weight_below_one_is_rejected():
 
     with pytest.raises(ConfigurationError):
         SloClass(name="thin", drain_weight=0.5)
+
+
+# ----------------------------------------------------------------------
+# per-class admission quotas
+# ----------------------------------------------------------------------
+def _quota_policy(shares, priorities=None):
+    from repro.serving import SloClass, SloPolicy
+
+    priorities = priorities or {}
+    classes = {
+        name: SloClass(
+            name=name, admission_share=s, priority=priorities.get(name, 0)
+        )
+        for name, s in shares.items()
+    }
+    return SloPolicy(classes=classes, assignments={name: name for name in shares})
+
+
+def test_quota_caps_a_class_at_its_share_of_capacity():
+    from repro.errors import QuotaExceededError
+
+    q = RequestQueue(capacity=8, slo=_quota_policy({"bulk": 0.25, "prem": 1.0}))
+    q.push(_req(0, tenant="bulk"))
+    q.push(_req(1, tenant="bulk"))
+    # 0.25 * 8 = 2 slots: the third bulk arrival is refused even though
+    # the queue itself has plenty of room.
+    with pytest.raises(QuotaExceededError):
+        q.push(_req(2, tenant="bulk"))
+    assert q.quota_shed_count == 1
+    assert q.shed_count == 1
+    assert q.depth == 2
+    # Other classes are unaffected.
+    for i in range(6):
+        q.push(_req(100 + i, tenant="prem"))
+    assert q.depth == 8
+
+
+def test_quota_slots_are_released_on_drain():
+    from repro.errors import QuotaExceededError
+
+    q = RequestQueue(capacity=8, slo=_quota_policy({"bulk": 0.25}))
+    q.push(_req(0, tenant="bulk"))
+    q.push(_req(1, tenant="bulk"))
+    with pytest.raises(QuotaExceededError):
+        q.push(_req(2, tenant="bulk"))
+    q.pop_fair(1)
+    q.push(_req(3, tenant="bulk"))  # freed slot admits again
+    assert q.depth_by_class() == {"bulk": 2}
+
+
+def test_quota_slots_are_released_on_eviction():
+    from repro.errors import QuotaExceededError
+
+    policy = _quota_policy(
+        {"bulk": 0.5, "prem": 1.0}, priorities={"bulk": 0, "prem": 1}
+    )
+    q = RequestQueue(capacity=4, slo=policy)
+    q.push(_req(0, tenant="bulk"))
+    q.push(_req(1, tenant="bulk"))
+    with pytest.raises(QuotaExceededError):
+        q.push(_req(2, tenant="bulk"))
+    for i in range(2):
+        q.push(_req(100 + i, tenant="prem"))
+    # Full queue: premium evicts the newest bulk request, and the quota
+    # accounting must follow the victim out of the queue.
+    evicted = q.push(_req(102, tenant="prem"))
+    assert evicted is not None and evicted.tenant == "bulk"
+    assert q.depth_by_class() == {"bulk": 1, "prem": 3}
+    q.pop_fair(1)  # bulk is first in rotation
+    q.push(_req(3, tenant="bulk"))  # back under its 2-slot cap
+
+
+def test_over_quota_class_cannot_evict_to_grow():
+    """The quota check runs before eviction: a premium flood with a
+    share cap cannot push every best-effort request out of the queue."""
+    from repro.errors import QuotaExceededError
+
+    policy = _quota_policy(
+        {"bulk": 1.0, "prem": 0.5}, priorities={"bulk": 0, "prem": 1}
+    )
+    q = RequestQueue(capacity=4, slo=policy)
+    for i in range(2):
+        q.push(_req(i, tenant="bulk"))
+    q.push(_req(100, tenant="prem"))
+    q.push(_req(101, tenant="prem"))
+    # Queue full AND prem at its 2-slot cap: without the quota this
+    # arrival would evict bulk request 1; with it, the arrival sheds.
+    with pytest.raises(QuotaExceededError):
+        q.push(_req(102, tenant="prem"))
+    assert q.evicted_count == 0
+    assert q.depth_by_class() == {"bulk": 2, "prem": 2}
+
+
+def test_quota_always_grants_at_least_one_slot():
+    q = RequestQueue(capacity=4, slo=_quota_policy({"tiny": 0.01}))
+    q.push(_req(0, tenant="tiny"))  # int(0.01 * 4) == 0, floored to 1
+    assert q.depth == 1
+
+
+def test_full_share_class_never_hits_the_quota_path():
+    q = RequestQueue(capacity=4, slo=_quota_policy({"std": 1.0}))
+    for i in range(4):
+        q.push(_req(i, tenant="std"))
+    with pytest.raises(BackpressureError):
+        q.push(_req(9, tenant="std"))
+    assert q.quota_shed_count == 0

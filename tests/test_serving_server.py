@@ -383,3 +383,28 @@ def test_all_default_slo_policy_is_bit_identical_to_no_policy():
         assert np.array_equal(a[rid].logits, b[rid].logits)
         assert a[rid].completion_time == b[rid].completion_time
         assert a[rid].batch_id == b[rid].batch_id
+
+
+def test_quota_shed_surfaces_in_server_metrics():
+    """An over-quota arrival is shed with the quota-specific counter, not
+    lumped in with plain queue-full sheds."""
+    from repro.serving import SloClass, SloPolicy
+
+    net = _tiny_net()
+    policy = SloPolicy(
+        classes={"bulk": SloClass(name="bulk", admission_share=0.25)},
+        assignments={"tenant0": "bulk"},
+    )
+    # capacity 8, share 0.25 -> 2 bulk slots; 6 simultaneous bulk arrivals.
+    trace = [
+        TraceRequest(time=0.0, tenant="tenant0", x=np.zeros(16)) for _ in range(6)
+    ]
+    server = PrivateInferenceServer(
+        net, _config(queue_capacity=8, max_batch_wait=1.0, slo=policy)
+    )
+    report = server.serve_trace(trace)
+    assert report.metrics.shed_quota == 4
+    assert report.metrics.shed == 4
+    assert len(report.completed) == 2
+    shed = [o for o in report.outcomes if o.status == STATUS_SHED]
+    assert len(shed) == 4 and all("quota" in o.error for o in shed)

@@ -321,3 +321,20 @@ def test_equal_budgets_share_a_priority_rank():
     )
     assert gold.priority == silver.priority
     assert gold.priority > bulk.priority > 0
+
+
+def test_admission_share_validation_and_cap():
+    with pytest.raises(ConfigurationError):
+        SloClass(name="bad", admission_share=0.0)
+    with pytest.raises(ConfigurationError):
+        SloClass(name="bad", admission_share=1.5)
+    cls = SloClass(name="bulk", admission_share=0.25)
+    assert cls.admission_cap(8) == 2
+    assert cls.admission_cap(100) == 25
+    # The floor: any valid share always gets at least one slot.
+    assert SloClass(name="tiny", admission_share=0.01).admission_cap(4) == 1
+    # class_table rows carry the knob for telemetry.
+    table = SloPolicy(classes={"bulk": cls}).class_table()
+    by_name = {row["name"]: row for row in table}
+    assert by_name["bulk"]["admission_share"] == pytest.approx(0.25)
+    assert by_name["standard"]["admission_share"] == pytest.approx(1.0)
