@@ -20,6 +20,13 @@ Usage::
 
     python benchmarks/check_regression.py bench-results/microbench_kernels.json
     python benchmarks/check_regression.py results.json --append  # extend history
+    python benchmarks/check_regression.py results.json \
+        --autoscale bench-results/autoscale.json  # also gate elastic serving
+
+``--autoscale`` additionally validates the autoscale exhibit's artifact:
+its ``extra_info`` ratios (elastic p99 vs static max provisioning, and
+elastic shard-seconds vs the static bill) must stay inside the fixed
+bounds asserted by ``bench_autoscale.py``.
 
 ``--append`` adds the new entry to the trajectory file on a passing run
 (and seeds the file when it does not exist yet), so the history grows one
@@ -50,6 +57,11 @@ REFERENCE = "test_float_matmul_reference_speed_n256"
 
 #: Trajectory entries consulted for the baseline median.
 HISTORY_WINDOW = 5
+
+#: The autoscale exhibit's name and the bounds its artifact must meet
+#: (mirrors the assertions inside ``bench_autoscale.py``).
+AUTOSCALE_BENCH = "test_autoscale_matches_static_p99_at_fraction_of_shard_seconds"
+AUTOSCALE_BOUNDS = {"p99_ratio": 1.10, "shard_seconds_ratio": 0.70}
 
 
 def _reject(constant: str):
@@ -104,6 +116,33 @@ def check(ratios: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def check_autoscale(path: Path) -> list[str]:
+    """Validate the autoscale artifact's ratios against the fixed bounds.
+
+    The elastic-serving exhibit records ``p99_ratio`` (elastic tail vs
+    the static max-provisioned deployment) and ``shard_seconds_ratio``
+    (elastic bill vs the static bill) in ``extra_info``; either one
+    drifting past its bound means autoscaling stopped paying for itself.
+    """
+    data = _load_strict(path)
+    rows = [b for b in data["benchmarks"] if b["name"] == AUTOSCALE_BENCH]
+    if not rows:
+        return [f"autoscale benchmark {AUTOSCALE_BENCH!r} missing from {path}"]
+    info = rows[0].get("extra_info", {})
+    failures = []
+    for key, bound in AUTOSCALE_BOUNDS.items():
+        value = info.get(key)
+        if value is None:
+            failures.append(f"autoscale artifact lacks extra_info[{key!r}]")
+        elif float(value) > bound:
+            failures.append(
+                f"autoscale {key} {float(value):.3f} exceeds bound {bound:.2f}"
+            )
+        else:
+            print(f"autoscale {key}: {float(value):.3f} (bound {bound:.2f})")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
@@ -124,6 +163,14 @@ def main(argv: list[str]) -> int:
         action="store_true",
         help="append this run to the trajectory file when the gate passes",
     )
+    parser.add_argument(
+        "--autoscale",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also gate the autoscale exhibit's JSON artifact"
+             " (p99_ratio / shard_seconds_ratio bounds)",
+    )
     args = parser.parse_args(argv)
 
     bench_json = _load_strict(args.results)
@@ -141,6 +188,8 @@ def main(argv: list[str]) -> int:
         print(f"{name}: ratio {ratios[name]:.3f} (baseline median {base_txt})")
 
     failures = check(ratios, baseline, args.threshold)
+    if args.autoscale is not None:
+        failures += check_autoscale(args.autoscale)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

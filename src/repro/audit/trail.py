@@ -99,6 +99,28 @@ class AuditTrail:
         )
 
     # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int) -> None:
+        """Open a chained log for a shard provisioned after startup.
+
+        Logs are only ever *added*, never removed: a retired shard's
+        chain head stays published (and its JSONL stays on disk), so
+        inclusion proofs issued while the shard was live verify forever.
+        The manifest is rewritten so replay knows the final shard count.
+        """
+        shard_id = int(shard_id)
+        if shard_id in self.logs:
+            raise AuditError(f"audit trail already has a log for shard {shard_id}")
+        self.logs[shard_id] = AuditLog(
+            shard_id,
+            None if self.log_dir is None else self.log_dir / log_filename(shard_id),
+        )
+        self.num_shards = max(self.num_shards, shard_id + 1)
+        if self.log_dir is not None:
+            self._write_manifest()
+
+    # ------------------------------------------------------------------
     # the commit path (called by the worker pool per flushed window)
     # ------------------------------------------------------------------
     def commit_window(

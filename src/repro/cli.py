@@ -6,7 +6,10 @@ Three subcommands:
 * ``serve`` — drive the multi-tenant private-inference server over a
   synthetic offline request trace (no network dependency) and print the
   serving metrics; ``--audit-log DIR`` additionally commits every flush
-  window to the verifiable audit trail;
+  window to the verifiable audit trail, ``--config FILE_OR_PRESET``
+  loads a whole :class:`~repro.serving.ServingConfig` (JSON file or
+  named preset) in one flag, and ``--autoscale`` serves elastically
+  (live shard provision/decommission with drain-before-kill);
 * ``audit`` — query a recorded trail: ``prove`` a request's inclusion,
   ``verify`` a proof offline against a published chain head, ``replay``
   a disputed window deterministically, ``check-chain`` walk the logs.
@@ -122,11 +125,20 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=1000.0, help="offered load, requests/second"
     )
     parser.add_argument(
-        "--virtual-batch", type=int, default=4, help="K — coalescing target"
+        "--config", default=None, metavar="FILE_OR_PRESET",
+        help="load a full ServingConfig from a JSON file"
+             " (ServingConfig.to_dict layout) or a named preset"
+             " (latency | throughput | audited); explicit per-field flags"
+             " still override it, with a deprecation warning",
     )
     parser.add_argument(
-        "--batch-wait", type=float, default=0.01,
-        help="max seconds a request waits before a partial batch flushes",
+        "--virtual-batch", type=int, default=None,
+        help="K — coalescing target (default 4)",
+    )
+    parser.add_argument(
+        "--batch-wait", type=float, default=None,
+        help="max seconds a request waits before a partial batch flushes"
+             " (default 0.01)",
     )
     parser.add_argument(
         "--adaptive-batching", action="store_true",
@@ -146,14 +158,15 @@ def _serve_parser() -> argparse.ArgumentParser:
              " (requires --adaptive-batching)",
     )
     parser.add_argument(
-        "--workers", type=int, default=2,
-        help="accepted for compatibility; overlap now comes from the staged"
-             " pipeline (use --pipeline-depth)",
+        "--workers", type=int, default=None,
+        help="deprecated; overlap now comes from the staged pipeline"
+             " (use --pipeline-depth)",
     )
     parser.add_argument(
-        "--pipeline-depth", type=int, default=1,
+        "--pipeline-depth", type=int, default=None,
         help="virtual batches kept in flight by the staged executor"
-             " (1 = synchronous; >= 2 overlaps enclave encode with GPU compute)",
+             " (1 = synchronous, the default; >= 2 overlaps enclave encode"
+             " with GPU compute)",
     )
     parser.add_argument(
         "--slo-budget", action="append", default=None, metavar="CLASS=MS",
@@ -168,15 +181,37 @@ def _serve_parser() -> argparse.ArgumentParser:
              " tenants keep the budget-less default class",
     )
     parser.add_argument(
-        "--stage-ranker", default="earliest", choices=["earliest", "deadline"],
+        "--stage-ranker", default=None, choices=["earliest", "deadline"],
         help="pipeline executor task-selection policy: 'earliest' (classic"
              " earliest-start/decode-first) or 'deadline' (tightest remaining"
              " SLO budget first); decoded values are bit-identical either way",
     )
     parser.add_argument(
-        "--num-shards", type=int, default=1,
+        "--num-shards", type=int, default=None,
         help="enclave shards tenants are partitioned across (each shard is"
-             " its own enclave + GPU cluster on a parallel timeline)",
+             " its own enclave + GPU cluster on a parallel timeline;"
+             " default 1 — with --autoscale this is only the initial count)",
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help="elastically provision/decommission shards at runtime from"
+             " queue-depth and utilization signals (drain-before-kill;"
+             " logits stay bit-identical at any membership history)",
+    )
+    parser.add_argument(
+        "--min-shards", type=int, default=None,
+        help="autoscaler floor on live shards (requires --autoscale;"
+             " default 1)",
+    )
+    parser.add_argument(
+        "--max-shards", type=int, default=None,
+        help="autoscaler ceiling on live shards (requires --autoscale;"
+             " default 4)",
+    )
+    parser.add_argument(
+        "--target-utilization", type=float, default=None,
+        help="utilization above which the autoscaler scales out"
+             " (requires --autoscale; default 0.85)",
     )
     parser.add_argument(
         "--gpus", type=int, default=None,
@@ -185,10 +220,11 @@ def _serve_parser() -> argparse.ArgumentParser:
              " the shards would not fit",
     )
     parser.add_argument(
-        "--queue-capacity", type=int, default=256, help="bounded queue size"
+        "--queue-capacity", type=int, default=None,
+        help="bounded queue size (default 256)",
     )
     parser.add_argument(
-        "--field-backend", default="limb", choices=["limb", "generic"],
+        "--field-backend", default=None, choices=["limb", "generic"],
         help="field-op backend for every masked GEMM: 'limb' (float64 BLAS"
              " GEMMs over 13-bit limbs with Barrett reduction, the fast"
              " default) or 'generic' (chunked int64 oracle); results are"
@@ -209,7 +245,9 @@ def _serve_parser() -> argparse.ArgumentParser:
              " manifest for deterministic replay); query them afterwards"
              " with 'python -m repro audit'",
     )
-    parser.add_argument("--seed", type=int, default=0, help="determinism seed")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="determinism seed (default 0)"
+    )
     return parser
 
 
@@ -260,99 +298,252 @@ def _build_slo(args):
     return build_slo_policy(budgets, assignments)
 
 
+def _load_serving_config(spec: str):
+    """Resolve ``--config``: a preset name or a ServingConfig JSON file."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.serving import PRESETS, ServingConfig
+
+    if spec in PRESETS:
+        return ServingConfig.preset(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise ConfigurationError(
+            f"--config {spec!r} is neither a preset"
+            f" ({', '.join(PRESETS)}) nor an existing JSON file"
+        )
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"--config {spec}: not valid JSON ({exc})"
+        ) from exc
+    return ServingConfig.from_dict(data)
+
+
+# CLI flags a --config file supersedes, with the predicate telling
+# whether the flag was explicitly given on this invocation.
+_SUPERSEDED_FLAGS = (
+    ("--virtual-batch", "virtual_batch"),
+    ("--batch-wait", "batch_wait"),
+    ("--workers", "workers"),
+    ("--pipeline-depth", "pipeline_depth"),
+    ("--stage-ranker", "stage_ranker"),
+    ("--num-shards", "num_shards"),
+    ("--queue-capacity", "queue_capacity"),
+    ("--field-backend", "field_backend"),
+    ("--epc-budget", "epc_budget"),
+    ("--target-fill", "target_fill"),
+    ("--integrity", "integrity"),
+    ("--per-request", "per_request"),
+    ("--adaptive-batching", "adaptive_batching"),
+    ("--audit-log", "audit_log"),
+    ("--slo-budget", "slo_budget"),
+    ("--slo-class", "slo_class"),
+)
+
+
 def _serve(args) -> int:
+    import dataclasses
+    import warnings
+
     from repro.errors import ConfigurationError
     from repro.runtime.config import DarKnightConfig
-    from repro.serving import PrivateInferenceServer, ServingConfig, synthetic_trace
+    from repro.serving import (
+        AutoscaleConfig,
+        PrivateInferenceServer,
+        ServingConfig,
+        synthetic_trace,
+    )
+
+    # DeprecationWarning is hidden by default outside __main__; a CLI
+    # user should still see their flags are on the way out.
+    warnings.filterwarnings("default", category=DeprecationWarning, module=__name__)
+    if args.workers is not None:
+        warnings.warn(
+            "--workers is deprecated and changes nothing beyond the recorded"
+            " config: overlap comes from the staged pipeline"
+            " (--pipeline-depth) and parallel shard timelines (--num-shards)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    base = _load_serving_config(args.config) if args.config is not None else None
+    if base is not None:
+        used = sorted(
+            flag
+            for flag, dest in _SUPERSEDED_FLAGS
+            if getattr(args, dest) not in (None, False)
+        )
+        if used:
+            warnings.warn(
+                f"{', '.join(used)}: per-field serve flags are deprecated"
+                " when --config is given — move them into the config file"
+                " (explicit flags still override it for now)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    base_dk = base.darknight if base is not None else DarKnightConfig()
+
+    def pick(flag_value, config_value, default):
+        """Explicit flag > config file > legacy default."""
+        if flag_value is not None:
+            return flag_value
+        return config_value if base is not None else default
+
+    seed = pick(args.seed, base_dk.seed, 0)
+    if seed is None:
+        seed = 0
+    virtual_batch = pick(args.virtual_batch, base_dk.virtual_batch_size, 4)
+    pipeline_depth = pick(args.pipeline_depth, base_dk.pipeline_depth, 1)
+    num_shards = pick(args.num_shards, base_dk.num_shards, 1)
+    field_backend = pick(args.field_backend, base_dk.field_backend, "limb")
+    stage_ranker = pick(args.stage_ranker, base_dk.stage_ranker, "earliest")
+    epc_budget = pick(args.epc_budget, base_dk.epc_budget_bytes, None)
+    integrity = args.integrity or (base is not None and base_dk.integrity)
+    batch_wait = pick(
+        args.batch_wait, base.max_batch_wait if base else None, 0.01
+    )
+    queue_capacity = pick(
+        args.queue_capacity, base.queue_capacity if base else None, 256
+    )
+    n_workers = pick(args.workers, base.n_workers if base else None, 2)
+    coalesce = not args.per_request and (base.coalesce if base else True)
 
     if args.rate <= 0:
         raise ConfigurationError(f"--rate must be > 0, got {args.rate}")
-    if args.pipeline_depth < 1:
+    if pipeline_depth < 1:
         raise ConfigurationError(
-            f"--pipeline-depth must be >= 1, got {args.pipeline_depth}"
+            f"--pipeline-depth must be >= 1, got {pipeline_depth}"
         )
-    if args.num_shards < 1:
+    if num_shards < 1:
         raise ConfigurationError(
-            f"--num-shards must be >= 1, got {args.num_shards}"
+            f"--num-shards must be >= 1, got {num_shards}"
         )
-    if not args.adaptive_batching and args.target_fill is not None:
-        raise ConfigurationError(
-            "--target-fill only applies with --adaptive-batching"
-        )
-    if not args.adaptive_batching and args.epc_budget is not None:
+
+    adaptive = base.adaptive if base is not None else None
+    if args.adaptive_batching and adaptive is None:
+        from repro.serving import AdaptiveBatchingConfig
+
+        adaptive = AdaptiveBatchingConfig()
+    if args.target_fill is not None:
+        if adaptive is None:
+            raise ConfigurationError(
+                "--target-fill only applies with --adaptive-batching"
+            )
+        adaptive = dataclasses.replace(adaptive, target_fill=args.target_fill)
+    if adaptive is None and epc_budget is not None:
         raise ConfigurationError(
             "--epc-budget only applies with --adaptive-batching"
         )
+
     slo = _build_slo(args)
-    if slo is None and args.stage_ranker == "deadline":
+    if slo is None and base is not None:
+        slo = base.slo
+    if slo is None and stage_ranker == "deadline":
         raise ConfigurationError(
             "--stage-ranker deadline needs SLO budgets to rank on"
             " (add --slo-budget class=ms)"
         )
-    dk = DarKnightConfig(
-        virtual_batch_size=args.virtual_batch,
-        integrity=args.integrity,
-        field_backend=args.field_backend,
-        pipeline_depth=args.pipeline_depth,
-        stage_ranker=args.stage_ranker,
-        num_shards=args.num_shards,
-        epc_budget_bytes=args.epc_budget,
-        seed=args.seed,
-    )
-    gpus_needed = args.num_shards * dk.n_gpus_required
-    if args.gpus is not None and args.gpus < gpus_needed:
-        raise ConfigurationError(
-            f"--gpus {args.gpus} cannot host {args.num_shards} shard(s): each"
-            f" shard needs K + M{' + 1 (integrity)' if args.integrity else ''}"
-            f" = {dk.n_gpus_required} simulated GPUs, {gpus_needed} total;"
-            " raise --gpus or lower --num-shards / --virtual-batch"
-        )
-    network, input_shape = build_serving_model(args.model, seed=args.seed)
-    adaptive = None
-    if args.adaptive_batching:
-        from repro.serving import AdaptiveBatchingConfig
 
-        adaptive = AdaptiveBatchingConfig(
-            target_fill=0.85 if args.target_fill is None else args.target_fill
+    autoscale = base.autoscale if base is not None else None
+    tuning = (
+        args.min_shards is not None
+        or args.max_shards is not None
+        or args.target_utilization is not None
+    )
+    if tuning and not args.autoscale and autoscale is None:
+        raise ConfigurationError(
+            "--min-shards/--max-shards/--target-utilization only apply with"
+            " --autoscale (or a config file with an autoscale section)"
         )
-    audit = None
+    if args.autoscale or tuning:
+        knobs = {}
+        if args.min_shards is not None:
+            knobs["min_shards"] = args.min_shards
+        if args.max_shards is not None:
+            knobs["max_shards"] = args.max_shards
+        if args.target_utilization is not None:
+            knobs["utilization_high"] = args.target_utilization
+        autoscale = (
+            dataclasses.replace(autoscale, **knobs)
+            if autoscale is not None
+            else AutoscaleConfig(**knobs)
+        )
+
+    audit = base.audit if base is not None else None
     if args.audit_log is not None:
         from repro.serving import AuditConfig
 
         audit = AuditConfig(log_dir=args.audit_log, model=args.model)
-    config = ServingConfig(
+
+    dk = dataclasses.replace(
+        base_dk,
+        virtual_batch_size=virtual_batch,
+        integrity=integrity,
+        field_backend=field_backend,
+        pipeline_depth=pipeline_depth,
+        stage_ranker=stage_ranker,
+        num_shards=num_shards,
+        epc_budget_bytes=epc_budget,
+        seed=seed,
+    )
+    gpus_needed = num_shards * dk.n_gpus_required
+    if args.gpus is not None and args.gpus < gpus_needed:
+        raise ConfigurationError(
+            f"--gpus {args.gpus} cannot host {num_shards} shard(s): each"
+            f" shard needs K + M{' + 1 (integrity)' if integrity else ''}"
+            f" = {dk.n_gpus_required} simulated GPUs, {gpus_needed} total;"
+            " raise --gpus or lower --num-shards / --virtual-batch"
+        )
+    network, input_shape = build_serving_model(args.model, seed=seed)
+    overrides = dict(
         darknight=dk,
-        max_batch_wait=args.batch_wait,
-        queue_capacity=args.queue_capacity,
-        n_workers=args.workers,
-        coalesce=not args.per_request,
+        max_batch_wait=batch_wait,
+        queue_capacity=queue_capacity,
+        n_workers=n_workers,
+        coalesce=coalesce,
         adaptive=adaptive,
         slo=slo,
         audit=audit,
+        autoscale=autoscale,
+    )
+    config = (
+        dataclasses.replace(base, **overrides)
+        if base is not None
+        else ServingConfig(**overrides)
     )
     trace = synthetic_trace(
         n_requests=args.requests,
         input_shape=input_shape,
         n_tenants=args.tenants,
         mean_interarrival=1.0 / args.rate,
-        seed=args.seed,
+        seed=seed,
     )
     server = PrivateInferenceServer(network, config)
     report = server.serve_trace(trace)
     if args.per_request:
         mode = "per-request"
-    elif args.adaptive_batching:
+    elif adaptive is not None:
         mode = (
             f"adaptive K={server.darknight.virtual_batch_size}"
-            f" (requested {args.virtual_batch})"
+            f" (requested {virtual_batch})"
         )
     else:
-        mode = f"coalesced K={args.virtual_batch}"
+        mode = f"coalesced K={virtual_batch}"
+    if autoscale is not None:
+        initial = min(max(num_shards, autoscale.min_shards), autoscale.max_shards)
+        shard_desc = (
+            f"elastic {autoscale.min_shards}-{autoscale.max_shards} shard(s),"
+            f" started at {initial}"
+        )
+    else:
+        shard_desc = f"{num_shards} shard(s)"
     print(
         f"served {args.requests} requests from {args.tenants} tenants"
-        f" ({mode}, integrity={'on' if args.integrity else 'off'},"
-        f" pipeline depth {args.pipeline_depth},"
-        f" {args.num_shards} shard(s))"
+        f" ({mode}, integrity={'on' if integrity else 'off'},"
+        f" pipeline depth {pipeline_depth},"
+        f" {shard_desc})"
     )
     if slo is not None:
         classes = ", ".join(
@@ -365,14 +556,14 @@ def _serve(args) -> int:
             + (f" <- {', '.join(row['tenants'])}" if row["tenants"] else "")
             for row in slo.class_table()
         )
-        print(f"SLO classes ({args.stage_ranker} ranker): {classes}")
+        print(f"SLO classes ({stage_ranker} ranker): {classes}")
     print(report.render())
-    if args.audit_log is not None:
+    if audit is not None and audit.log_dir is not None:
         print(
             f"audit: {server.metrics.audit_windows} windows"
             f" ({server.metrics.audit_leaves} leaves,"
             f" {server.metrics.audit_bytes:,} bytes) committed to"
-            f" {args.audit_log}"
+            f" {audit.log_dir}"
         )
     return 0
 

@@ -72,7 +72,11 @@ class DarKnightConfig:
         shard owns its own enclave + GPU cluster + serialized timeline, so
         shards progress in parallel on the simulated clock; ``1`` keeps
         the single-enclave deployment.  Requires
-        ``num_shards * n_gpus_required`` simulated GPUs in total.
+        ``num_shards * n_gpus_required`` simulated GPUs in total.  Under
+        elastic autoscaling (``ServingConfig.autoscale``) this is only
+        the *initial* count — the server clamps it into the autoscaler's
+        ``[min_shards, max_shards]`` band and membership changes at
+        runtime.
     per_sample_normalization:
         Dynamic-normalize each virtual-batch slot by its *own* max-abs
         instead of the whole batch's, making a sample's decoded logits

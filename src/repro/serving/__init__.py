@@ -19,6 +19,11 @@ from repro.serving.adaptive import (
     estimate_slot_bytes,
     working_set_bytes,
 )
+from repro.serving.autoscale import (
+    AutoscaleConfig,
+    AutoscaleEvent,
+    ShardAutoscaler,
+)
 from repro.serving.metrics import ServerMetrics
 from repro.serving.queue import RequestQueue
 from repro.serving.requests import (
@@ -32,7 +37,12 @@ from repro.serving.requests import (
     ScheduledBatch,
 )
 from repro.serving.scheduler import ShardedBatchScheduler, VirtualBatchScheduler
-from repro.serving.server import PrivateInferenceServer, ServingConfig, ServingReport
+from repro.serving.server import (
+    PRESETS,
+    PrivateInferenceServer,
+    ServingConfig,
+    ServingReport,
+)
 from repro.serving.slo import (
     DEFAULT_SLO_CLASS,
     FLUSH_BUDGET_FRACTION,
@@ -48,6 +58,7 @@ from repro.serving.session import (
 from repro.serving.trace import (
     TraceRequest,
     bursty_trace,
+    phased_trace,
     ramping_trace,
     synthetic_trace,
     trace_from_arrays,
@@ -71,6 +82,10 @@ __all__ = [
     "STATUS_INTEGRITY_FAILED",
     "STATUS_DECODE_FAILED",
     "STATUS_SHARD_FAILED",
+    "AutoscaleConfig",
+    "AutoscaleEvent",
+    "ShardAutoscaler",
+    "PRESETS",
     "RequestQueue",
     "VirtualBatchScheduler",
     "ShardedBatchScheduler",
@@ -89,6 +104,7 @@ __all__ = [
     "ServingReport",
     "TraceRequest",
     "bursty_trace",
+    "phased_trace",
     "ramping_trace",
     "synthetic_trace",
     "trace_from_arrays",

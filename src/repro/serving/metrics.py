@@ -73,6 +73,9 @@ class ServerMetrics:
         self.audit_leaves = 0
         self.audit_bytes = 0
         self.audit_commit_seconds = 0.0
+        #: Executed elastic membership changes (zero when autoscale off).
+        self.scale_outs = 0
+        self.scale_ins = 0
         self._first_arrival: float | None = None
         self._last_completion: float | None = None
 
@@ -135,6 +138,15 @@ class ServerMetrics:
         self.audit_leaves += int(leaves)
         self.audit_bytes += int(nbytes)
         self.audit_commit_seconds += float(seconds)
+
+    def record_scale(self, action: str) -> None:
+        """Account one executed membership change (scale_out / scale_in)."""
+        if action == "scale_out":
+            self.scale_outs += 1
+        elif action == "scale_in":
+            self.scale_ins += 1
+        else:
+            raise ValueError(f"unknown scale action {action!r}")
 
     def record_shed(self, tenant: str, kind: str = SHED_ADMISSION) -> None:
         """Account one request lost to backpressure.
@@ -286,6 +298,8 @@ class ServerMetrics:
             "audit_leaves": self.audit_leaves,
             "audit_bytes": self.audit_bytes,
             "audit_commit_seconds": _finite(self.audit_commit_seconds),
+            "scale_outs": self.scale_outs,
+            "scale_ins": self.scale_ins,
         }
 
     def render(self, title: str = "Serving metrics") -> str:
@@ -318,6 +332,9 @@ class ServerMetrics:
                 ["audit commit (ms)",
                  _fmt(snap["audit_commit_seconds"], scale=1e3, digits=1)]
             )
+        if snap["scale_outs"] or snap["scale_ins"]:
+            rows.append(["scale-outs", snap["scale_outs"]])
+            rows.append(["scale-ins", snap["scale_ins"]])
         if snap["slo_classes"]:
             rows.append(["shed at admission", snap["shed_at_admission"]])
             rows.append(["evicted by class", snap["shed_evicted"]])

@@ -232,6 +232,51 @@ class RequestQueue:
                 self._rotation.append(tenant)
         return out
 
+    # ------------------------------------------------------------------
+    # re-homing (elastic membership)
+    # ------------------------------------------------------------------
+    def extract_tenant(self, tenant: str) -> list[PendingRequest]:
+        """Remove and return one tenant's entire pending FIFO.
+
+        Used when the router re-pins a tenant to another shard: the
+        already-admitted requests follow the pin via
+        :meth:`absorb` on the target queue, preserving enqueue times and
+        order.  Extraction is not a shed — no counter moves.
+        """
+        tenant_queue = self._queues.get(tenant)
+        if not tenant_queue:
+            return []
+        requests = list(tenant_queue)
+        tenant_queue.clear()
+        self._depth -= len(requests)
+        self._note_removed(tenant, len(requests))
+        self._rotation.remove(tenant)
+        self._drain_credit.pop(tenant, None)
+        return requests
+
+    def absorb(self, requests: list[PendingRequest]) -> None:
+        """Re-home already-admitted requests onto this queue.
+
+        Unlike :meth:`push` this performs no capacity or quota check and
+        bumps no admission counter: the requests were admitted once at
+        their original shard, and a membership change must never turn an
+        admitted request into a shed.  Per-tenant FIFO order and enqueue
+        times are preserved; re-homed tenants join the back of the
+        rotation like any newly active tenant.
+        """
+        for request in requests:
+            tenant_queue = self._queues.get(request.tenant)
+            if tenant_queue is None:
+                tenant_queue = self._queues[request.tenant] = deque()
+                self._seen.append(request.tenant)
+            if not tenant_queue:
+                self._rotation.append(request.tenant)
+            tenant_queue.append(request)
+            self._depth += 1
+            if self.slo is not None:
+                name = self.slo.class_for(request.tenant).name
+                self._class_depth[name] = self._class_depth.get(name, 0) + 1
+
     def _note_removed(self, tenant: str, count: int) -> None:
         """Release ``count`` admission-quota slots held by ``tenant``."""
         if self.slo is None or count == 0:

@@ -79,6 +79,9 @@ class VirtualBatchScheduler:
         self.policy = policy
         self._ids = id_source if id_source is not None else itertools.count()
         self.batches_scheduled = 0
+        #: Optional elastic cap on the coalescing target — the EPC-pool
+        #: re-size applied between windows as shards join or leave.
+        self.batch_cap: int | None = None
 
     def _make(
         self,
@@ -107,10 +110,13 @@ class VirtualBatchScheduler:
     # ------------------------------------------------------------------
     @property
     def effective_batch_size(self) -> int:
-        """The coalescing target in force: static ``K`` or the policy's cap."""
-        if self.policy is None:
-            return self.batch_size
-        return min(self.batch_size, self.policy.batch_size)
+        """The coalescing target in force: static ``K``, policy, or pool cap."""
+        size = self.batch_size
+        if self.policy is not None:
+            size = min(size, self.policy.batch_size)
+        if self.batch_cap is not None:
+            size = min(size, self.batch_cap)
+        return max(1, size)
 
     def current_wait(self) -> float:
         """The flush deadline in force for the oldest queued request."""
@@ -223,7 +229,11 @@ class ShardedBatchScheduler:
                 f"need one policy per shard: {len(policies)} policies"
                 f" for {len(queues)} queues"
             )
-        ids = itertools.count()
+        self._ids = itertools.count()
+        self._batch_size = batch_size
+        self._max_wait = max_wait
+        self._slots = slots
+        self._retired: set[int] = set()
         self.shards = [
             VirtualBatchScheduler(
                 queue,
@@ -231,15 +241,67 @@ class ShardedBatchScheduler:
                 max_wait,
                 slots=slots,
                 shard_id=i,
-                id_source=ids,
+                id_source=self._ids,
                 policy=policies[i] if policies is not None else None,
             )
             for i, queue in enumerate(queues)
         ]
 
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def add_shard(
+        self, queue: RequestQueue, policy: AdaptiveFlushPolicy | None = None
+    ) -> int:
+        """Attach a per-shard scheduler for a newly provisioned shard.
+
+        The new scheduler shares the deployment's batch-id counter (ids
+        stay globally unique across any membership history) and inherits
+        the uniform coalescing knobs.  Returns the new shard id.
+        """
+        shard_id = len(self.shards)
+        scheduler = VirtualBatchScheduler(
+            queue,
+            self._batch_size,
+            self._max_wait,
+            slots=self._slots,
+            shard_id=shard_id,
+            id_source=self._ids,
+            policy=policy,
+        )
+        self.shards.append(scheduler)
+        return shard_id
+
+    def retire_shard(self, shard_id: int) -> None:
+        """Stop collecting from a retired shard's scheduler.
+
+        The shard's queue must already be empty (drained or re-homed);
+        retiring a shard with pending requests would silently strand
+        admitted work.
+        """
+        if not 0 <= shard_id < len(self.shards):
+            raise ConfigurationError(f"unknown scheduler shard id {shard_id}")
+        if self.shards[shard_id].queue.depth:
+            raise ConfigurationError(
+                f"scheduler shard {shard_id} still holds"
+                f" {self.shards[shard_id].queue.depth} pending requests;"
+                " drain or re-home before retiring"
+            )
+        self._retired.add(shard_id)
+
+    def set_batch_cap(self, cap: int | None) -> None:
+        """Apply an EPC-pool batch-size cap to every live shard."""
+        for shard in self._live():
+            shard.batch_cap = cap
+
+    def _live(self):
+        return (
+            s for i, s in enumerate(self.shards) if i not in self._retired
+        )
+
     def collect_ready(self, now: float) -> list[ScheduledBatch]:
         """Flush every full batch available on any shard (size trigger)."""
-        return [b for shard in self.shards for b in shard.collect_ready(now)]
+        return [b for shard in self._live() for b in shard.collect_ready(now)]
 
     def collect_expired(self, now: float) -> list[ScheduledBatch]:
         """Flush deadline-expired partials on every shard, deadline order.
@@ -248,13 +310,13 @@ class ShardedBatchScheduler:
         window sees one globally time-ordered stream, exactly as a single
         deadline timer would have fired them.
         """
-        batches = [b for shard in self.shards for b in shard.collect_expired(now)]
+        batches = [b for shard in self._live() for b in shard.collect_expired(now)]
         batches.sort(key=lambda b: (b.flush_time, b.batch_id))
         return batches
 
     def drain(self, now: float) -> list[ScheduledBatch]:
         """Flush everything on every shard immediately (shutdown)."""
-        return [b for shard in self.shards for b in shard.drain(now)]
+        return [b for shard in self._live() for b in shard.drain(now)]
 
     # ------------------------------------------------------------------
     # adaptive hooks (no-ops when no shard carries a policy)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -36,6 +37,7 @@ from repro.audit import AuditConfig, AuditTrail
 from repro.comm import LinkModel
 from repro.enclave import EPC_USABLE_BYTES, Enclave
 from repro.errors import (
+    AttestationError,
     BackpressureError,
     ConfigurationError,
     QuotaExceededError,
@@ -52,6 +54,12 @@ from repro.serving.adaptive import (
     epc_fitting_batch_size,
     estimate_slot_bytes,
 )
+from repro.serving.autoscale import (
+    ACTION_SCALE_IN,
+    ACTION_SCALE_OUT,
+    AutoscaleConfig,
+    ShardAutoscaler,
+)
 from repro.serving.metrics import (
     SHED_ADMISSION,
     SHED_EVICTED,
@@ -67,7 +75,7 @@ from repro.serving.requests import (
 )
 from repro.serving.scheduler import ShardedBatchScheduler
 from repro.serving.session import ShardedSessionManager
-from repro.serving.slo import SloPolicy
+from repro.serving.slo import SloClass, SloPolicy
 from repro.serving.trace import TraceRequest
 from repro.serving.worker import InferenceWorkerPool
 from repro.sharding import AttestationMesh, EnclaveShard, ShardRouter
@@ -143,6 +151,14 @@ class ServingConfig:
         extract offline-verifiable inclusion proofs and auditors can
         deterministically replay disputed windows.  ``None`` — the
         default — commits nothing and leaves dispatch bit-identical.
+    autoscale:
+        Optional :class:`~repro.serving.autoscale.AutoscaleConfig`
+        enabling elastic shard membership: the server provisions and
+        decommissions enclave shards at runtime from queue-depth,
+        utilization, and SLO-attainment pressure, between
+        ``min_shards`` and ``max_shards``.  ``darknight.num_shards``
+        becomes the *initial* count (clamped into the bounds).  ``None``
+        — the default — keeps the static deployment.
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -158,6 +174,159 @@ class ServingConfig:
     slo: SloPolicy | None = None
     shard_weights: tuple[float, ...] | None = None
     audit: AuditConfig | None = None
+    autoscale: AutoscaleConfig | None = None
+
+    # ------------------------------------------------------------------
+    # the unified config surface: dict round-trip + named presets
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe dict covering every sub-config.
+
+        Round-trips through :meth:`from_dict`; infinite SLO budgets are
+        encoded as ``null`` so ``json.dumps(cfg.to_dict(),
+        allow_nan=False)`` always succeeds.
+        """
+
+        def _slo_dict(slo: SloPolicy | None) -> dict | None:
+            if slo is None:
+                return None
+            return {
+                "classes": {
+                    name: {
+                        "name": cls.name,
+                        "latency_budget": (
+                            cls.latency_budget
+                            if math.isfinite(cls.latency_budget)
+                            else None
+                        ),
+                        "priority": cls.priority,
+                        "shed_weight": cls.shed_weight,
+                        "drain_weight": cls.drain_weight,
+                        "admission_share": cls.admission_share,
+                    }
+                    for name, cls in sorted(slo.classes.items())
+                },
+                "assignments": dict(slo.assignments),
+            }
+
+        def _opt_asdict(value) -> dict | None:
+            return None if value is None else dataclasses.asdict(value)
+
+        return {
+            "darknight": dataclasses.asdict(self.darknight),
+            "max_batch_wait": self.max_batch_wait,
+            "queue_capacity": self.queue_capacity,
+            "n_workers": self.n_workers,
+            "coalesce": self.coalesce,
+            "reuse_coefficients": self.reuse_coefficients,
+            "encrypt_requests": self.encrypt_requests,
+            "stage_costs": _opt_asdict(self.stage_costs),
+            "code_identity": self.code_identity,
+            "adaptive": _opt_asdict(self.adaptive),
+            "slo": _slo_dict(self.slo),
+            "shard_weights": (
+                None if self.shard_weights is None else list(self.shard_weights)
+            ),
+            "audit": _opt_asdict(self.audit),
+            "autoscale": _opt_asdict(self.autoscale),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingConfig":
+        """Rebuild a config (all five sub-configs) from :meth:`to_dict`.
+
+        Unknown keys raise :class:`~repro.errors.ConfigurationError`
+        rather than being silently dropped — a typo in a ``--config``
+        file must not quietly serve with defaults.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"serving config must be a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown serving config keys {unknown} (known: {sorted(known)})"
+            )
+        kwargs = dict(data)
+
+        def _build(key, factory):
+            value = kwargs.get(key)
+            if isinstance(value, dict):
+                try:
+                    kwargs[key] = factory(value)
+                except TypeError as exc:
+                    raise ConfigurationError(
+                        f"bad serving config: {key}: {exc}"
+                    ) from exc
+
+        _build("darknight", lambda d: DarKnightConfig(**d))
+        _build("stage_costs", lambda d: StageCostModel(**d))
+        _build("adaptive", lambda d: AdaptiveBatchingConfig(**d))
+        _build("audit", lambda d: AuditConfig(**d))
+        _build("autoscale", lambda d: AutoscaleConfig(**d))
+
+        slo = kwargs.get("slo")
+        if isinstance(slo, dict):
+            classes = {}
+            for name, spec in slo.get("classes", {}).items():
+                spec = dict(spec)
+                spec.setdefault("name", name)
+                if spec.get("latency_budget") is None:
+                    spec["latency_budget"] = math.inf
+                try:
+                    classes[name] = SloClass(**spec)
+                except TypeError as exc:
+                    raise ConfigurationError(
+                        f"bad serving config: slo class {name!r}: {exc}"
+                    ) from exc
+            kwargs["slo"] = SloPolicy(
+                classes=classes, assignments=dict(slo.get("assignments", {}))
+            )
+        weights = kwargs.get("shard_weights")
+        if weights is not None:
+            kwargs["shard_weights"] = tuple(float(w) for w in weights)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad serving config: {exc}") from exc
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "ServingConfig":
+        """A named starting point: ``latency``, ``throughput``, ``audited``.
+
+        ``latency`` learns per-shard flush deadlines with a tight static
+        ceiling and a 2-deep pipeline; ``throughput`` doubles ``K`` and
+        relaxes the deadline so size triggers dominate; ``audited`` turns
+        on integrity shares plus the verifiable audit trail.  Keyword
+        ``overrides`` replace any top-level field after the preset.
+        """
+        if name == "latency":
+            base = cls(
+                darknight=DarKnightConfig(pipeline_depth=2),
+                max_batch_wait=2e-3,
+                adaptive=AdaptiveBatchingConfig(),
+            )
+        elif name == "throughput":
+            base = cls(
+                darknight=DarKnightConfig(virtual_batch_size=8, pipeline_depth=2),
+                max_batch_wait=2e-2,
+            )
+        elif name == "audited":
+            base = cls(
+                darknight=DarKnightConfig(integrity=True),
+                audit=AuditConfig(),
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown serving preset {name!r} (available: {list(PRESETS)})"
+            )
+        return dataclasses.replace(base, **overrides) if overrides else base
+
+
+#: Names :meth:`ServingConfig.preset` accepts.
+PRESETS = ("latency", "throughput", "audited")
 
 
 @dataclass
@@ -178,6 +347,8 @@ class ServingReport:
     adaptive: list | None = None
     #: Per-shard audit chain heads (``None`` when auditing is disabled).
     audit_roots: dict[int, str] | None = None
+    #: Elastic-membership telemetry (``None`` when autoscaling is off).
+    autoscale: dict | None = None
 
     @property
     def completed(self) -> list[RequestOutcome]:
@@ -202,6 +373,13 @@ class ServingReport:
                 else ""
             )
         )
+        if self.autoscale is not None:
+            lines.append(
+                f"autoscale: {self.autoscale['scale_outs']} scale-outs,"
+                f" {self.autoscale['scale_ins']} scale-ins,"
+                f" peak {self.autoscale['peak_shards']} shards,"
+                f" {self.autoscale['shard_seconds']:.3f} shard-seconds"
+            )
         if self.audit_roots is not None:
             heads = ", ".join(
                 f"shard {sid}: {root[:12]}…"
@@ -257,11 +435,36 @@ class PrivateInferenceServer:
             # Served logits must not depend on batch composition (and so
             # not on coalescing, pipelining, or shard routing choices).
             dk = dataclasses.replace(dk, per_sample_normalization=True)
-        if dk.num_shards > 1 and (cluster is not None or enclave is not None):
+        autoscale = self.config.autoscale
+        if autoscale is not None:
+            # num_shards becomes the *initial* count, clamped into the
+            # autoscaler's bounds.
+            initial = min(
+                max(dk.num_shards, autoscale.min_shards), autoscale.max_shards
+            )
+            if initial != dk.num_shards:
+                dk = dataclasses.replace(dk, num_shards=initial)
+        # Every configuration error must fire *before* the provisioning
+        # loop below: a failed construction may never leak attested
+        # enclaves (or their GPU clusters) it cannot hand back.
+        elastic_max = autoscale.max_shards if autoscale is not None else dk.num_shards
+        if max(dk.num_shards, elastic_max) > 1 and (
+            cluster is not None or enclave is not None
+        ):
             raise ConfigurationError(
-                "injected clusters/enclaves only compose with num_shards=1;"
-                f" got num_shards={dk.num_shards} — provision per-shard"
-                " hardware through DarKnightConfig instead"
+                "injected clusters/enclaves only compose with a single static"
+                f" shard; got num_shards={dk.num_shards},"
+                f" elastic max {elastic_max} — provision per-shard hardware"
+                " through DarKnightConfig instead"
+            )
+        if (
+            self.config.shard_weights is not None
+            and len(self.config.shard_weights) != dk.num_shards
+        ):
+            raise ConfigurationError(
+                f"need one shard weight per shard:"
+                f" {len(self.config.shard_weights)} weights for"
+                f" {dk.num_shards} shards"
             )
         if self.config.adaptive is not None:
             # Size K against the EPC budget *before* provisioning: the
@@ -284,6 +487,10 @@ class PrivateInferenceServer:
         self.link = LinkModel()
         #: The effective (possibly EPC-clamped) DarKnight parameters.
         self.darknight = dk
+        #: Kept for elastic scale-out: new shards provision the same model.
+        self.network = network
+        self.autoscale_config = autoscale
+        self.autoscaler = ShardAutoscaler(autoscale)
         self.shards = [
             EnclaveShard.provision(
                 shard_id,
@@ -373,6 +580,12 @@ class PrivateInferenceServer:
         self._next_request_id = 0
         # Completion times of dispatched requests, for in-flight accounting.
         self._inflight: list[float] = []
+        #: The trace replay's simulated clock (drives autoscale timing).
+        self._clock = 0.0
+        self._slot_bytes = estimate_slot_bytes(network)
+        for shard in self.shards:
+            self.autoscaler.note_provisioned(shard.shard_id, 0.0)
+        self._apply_epc_pool()
 
     # ------------------------------------------------------------------
     # the event loop
@@ -389,11 +602,215 @@ class PrivateInferenceServer:
         now = 0.0
         for event in events:
             now = max(now, event.time)
+            self._clock = max(self._clock, now)
             self._run_batches(self.scheduler.collect_expired(now))
+            self._autoscale_tick(now)
             self._admit(event, now)
             self._run_batches(self.scheduler.collect_ready(now))
         self._run_batches(self.scheduler.collect_expired(_DRAIN))
         return self.report()
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _live_shards(self) -> list[EnclaveShard]:
+        """Shards currently serving traffic (draining included)."""
+        return [s for s in self.shards if s.healthy and not s.retired]
+
+    def _new_policy(self):
+        """One adaptive flush policy for a freshly provisioned shard."""
+        if self.config.adaptive is None:
+            return None
+        dk = self.darknight
+        return build_policies(
+            1,
+            dk.virtual_batch_size if self.config.coalesce else 1,
+            self.config.max_batch_wait,
+            self.config.adaptive,
+            network=self.network,
+            epc_budget_bytes=dk.epc_budget_bytes or EPC_USABLE_BYTES,
+            collusion_tolerance=dk.collusion_tolerance,
+            extra_shares=dk.extra_shares,
+            pipeline_depth=dk.pipeline_depth,
+            slo=self.config.slo,
+        )[0]
+
+    def provision_shard(self, now: float = 0.0) -> int:
+        """Scale out: bring one new enclave shard into the live deployment.
+
+        The join is end to end: provision the trusted stack, attest it
+        incrementally against the live mesh members, insert its virtual
+        nodes into the consistent-hash ring (bounded tenant re-pinning),
+        migrate the re-pinned tenants' attested sessions over the mesh,
+        re-home their already-queued requests, and open its audit log
+        when the trail is on.  Logits are unaffected by construction:
+        per-sample normalization makes every response independent of
+        which shard (and which co-batch) served it.
+        """
+        shard_id = len(self.shards)
+        shard = EnclaveShard.provision(
+            shard_id,
+            self.network,
+            self.darknight,
+            code_identity=self.config.code_identity,
+            stage_costs=self.config.stage_costs,
+            link=self.link,
+        )
+        shard.provisioned_at = now
+        self.shards.append(shard)
+        self.mesh.extend(shard)
+        max_migrations = (
+            self.autoscale_config.max_session_migrations
+            if self.autoscale_config is not None
+            else None
+        )
+        ring_id, remap = self.router.add_shard(max_migrations=max_migrations)
+        if ring_id != shard_id:
+            raise ShardError(
+                f"router shard id {ring_id} out of sync with deployment"
+                f" shard id {shard_id}"
+            )
+        queue = RequestQueue(self.config.queue_capacity, slo=self.config.slo)
+        self.queues.append(queue)
+        self.scheduler.add_shard(queue, policy=self._new_policy())
+        self.sessions.extend(shard)
+        self.sessions.migrate(remap, now)
+        # Already-admitted requests follow their tenant's new pin so the
+        # new shard takes load immediately (and the old shard's queue
+        # stops aging work it no longer owns).
+        for tenant in remap:
+            for source in self.queues[:-1]:
+                moved = source.extract_tenant(tenant)
+                if moved:
+                    queue.absorb(moved)
+        self.pool.join(shard)
+        if self.audit is not None:
+            self.audit.add_shard(shard_id)
+        self.autoscaler.note_provisioned(shard_id, now)
+        self.metrics.record_scale(ACTION_SCALE_OUT)
+        self._apply_epc_pool()
+        return shard_id
+
+    def decommission_shard(
+        self, shard_id: int | None = None, now: float = 0.0
+    ) -> int:
+        """Scale in, drain-before-kill: flush, migrate, then retire.
+
+        The victim (the least-loaded live shard unless ``shard_id`` names
+        one) first stops receiving new tenants (router drain), then its
+        queued windows flush through its own pipeline — audit-committed
+        when the trail is on — then its tenants re-place through the ring
+        and their attested sessions migrate over the still-verified mesh
+        links, and only then is the shard decommissioned.  A refused
+        migration (unverified link) degrades safely: the victim's
+        sessions are dropped and each tenant re-attests on its new shard
+        at next contact.  Raises :class:`~repro.errors.ShardError` when
+        removal would leave no serving shard.
+        """
+        live = self._live_shards()
+        if shard_id is None:
+            victim = min(
+                live,
+                key=lambda s: (
+                    self.queues[s.shard_id].depth,
+                    self.router.loads()[s.shard_id],
+                    -s.shard_id,
+                ),
+            )
+        else:
+            matches = [s for s in live if s.shard_id == shard_id]
+            if not matches:
+                raise ShardError(f"shard {shard_id} is not live; cannot drain")
+            victim = matches[0]
+        vid = victim.shard_id
+        self.router.begin_drain(vid)
+        victim.begin_drain()
+        # Flush the victim's pending windows through its own pipeline
+        # (these commit to its audit chain like any other window).
+        self._run_batches(self.scheduler.shards[vid].drain(now))
+        if not victim.healthy:
+            # Died mid-flush: the failover path already migrated its
+            # sessions and re-pinned its tenants; nothing left to drain.
+            return vid
+        remap = self.router.remove_shard(vid)
+        try:
+            self.sessions.migrate(remap, now)
+        except AttestationError:
+            # Refused migration: sessions stay put until retire() drops
+            # them below; tenants re-attest lazily on their new shard.
+            pass
+        self.sessions.retire(vid)
+        self.pool.retire(vid)
+        self.mesh.retire(vid)
+        self.scheduler.retire_shard(vid)
+        victim.decommission(now)
+        self.autoscaler.note_retired(vid, now)
+        self.metrics.record_scale(ACTION_SCALE_IN)
+        self._apply_epc_pool()
+        return vid
+
+    def _apply_epc_pool(self) -> None:
+        """Re-size ``K`` between windows against the shared EPC pool.
+
+        With ``autoscale.epc_pool_bytes`` set, the deployment's EPC is a
+        shared budget: fewer live shards each get a larger slice (larger
+        coalescing target), more shards a smaller one.  The cap only ever
+        *shrinks* batches below the provisioned ``K`` — the enclaves
+        encode at the provisioned size, so per-sample normalization keeps
+        logits bit-identical at every cap.
+        """
+        asc = self.autoscale_config
+        if asc is None or asc.epc_pool_bytes is None:
+            return
+        headroom = (
+            self.config.adaptive.epc_headroom
+            if self.config.adaptive is not None
+            else 0.9
+        )
+        per_shard = int(
+            asc.epc_pool_bytes / max(1, len(self._live_shards())) * headroom
+        )
+        dk = self.darknight
+        fit = epc_fitting_batch_size(
+            dk.virtual_batch_size,
+            self._slot_bytes,
+            per_shard,
+            dk.collusion_tolerance,
+            dk.extra_shares,
+            dk.pipeline_depth,
+        )
+        self.scheduler.set_batch_cap(
+            fit if fit < dk.virtual_batch_size else None
+        )
+
+    def _autoscale_tick(self, now: float) -> None:
+        """Run one control-loop evaluation and execute its decision."""
+        if self.autoscale_config is None:
+            return
+        live = self._live_shards()
+        if not live:
+            return
+        depths = {s.shard_id: self.queues[s.shard_id].depth for s in live}
+        busy = {s.shard_id: s.busy_time for s in live}
+        attainment = self.metrics.slo_attainment()
+        action, reason = self.autoscaler.evaluate(
+            now,
+            depths,
+            busy,
+            attainment=attainment if math.isfinite(attainment) else None,
+        )
+        if action == ACTION_SCALE_OUT:
+            shard_id = self.provision_shard(now)
+        elif action == ACTION_SCALE_IN:
+            try:
+                shard_id = self.decommission_shard(now=now)
+            except ShardError:
+                return
+        else:
+            return
+        self.autoscaler.record(
+            action, shard_id, len(self._live_shards()), now, reason
+        )
 
     def _inflight_at(self, now: float) -> int:
         """Dispatched requests whose (simulated) completion is still ahead."""
@@ -546,6 +963,10 @@ class PrivateInferenceServer:
     # ------------------------------------------------------------------
     def report(self) -> ServingReport:
         """Snapshot the run so far."""
+        end = self._clock
+        for outcome in self._outcomes:
+            if outcome.completion_time is not None:
+                end = max(end, outcome.completion_time)
         return ServingReport(
             outcomes=list(self._outcomes),
             metrics=self.metrics,
@@ -558,4 +979,9 @@ class PrivateInferenceServer:
             retries_skipped_budget=self.pool.retries_skipped_budget,
             adaptive=self.scheduler.policy_snapshots(),
             audit_roots=self.audit.chain_roots() if self.audit is not None else None,
+            autoscale=(
+                self.autoscaler.snapshot(end)
+                if self.autoscale_config is not None
+                else None
+            ),
         )

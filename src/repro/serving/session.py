@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.comm import Envelope, LinkModel, SecureChannel
 from repro.enclave import Enclave, measure_enclave
-from repro.errors import AttestationError
+from repro.errors import AttestationError, ConfigurationError
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 
 
@@ -177,21 +177,89 @@ class ShardedSessionManager:
         self.router = router
         self.mesh = mesh
         self.link = link or LinkModel()
-        self._managers = [
-            SessionManager(
-                shard.enclave,
-                link=self.link,
-                expected_code_identity=expected_code_identity,
-                rng=np.random.default_rng(None if seed is None else seed + i),
-                shard_id=shard.shard_id,
-            )
-            for i, shard in enumerate(shards)
-        ]
+        self._expected_code_identity = expected_code_identity
+        self._seed = seed
+        self._managers = {
+            shard.shard_id: self._manager_for(shard) for shard in shards
+        }
         self.migrations = 0
+
+    def _manager_for(self, shard) -> SessionManager:
+        """One shard's session manager with its deterministic randomness."""
+        seed = None if self._seed is None else self._seed + shard.shard_id
+        return SessionManager(
+            shard.enclave,
+            link=self.link,
+            expected_code_identity=self._expected_code_identity,
+            rng=np.random.default_rng(seed),
+            shard_id=shard.shard_id,
+        )
 
     def connect(self, tenant: str, now: float = 0.0) -> ServingSession:
         """The tenant's session on its pinned shard (handshake on first use)."""
         return self._managers[self.router.shard_for(tenant)].connect(tenant, now)
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def extend(self, shard) -> None:
+        """Start managing sessions for a newly provisioned shard.
+
+        The new manager draws its handshake randomness from
+        ``seed + shard_id`` exactly as a startup manager would, so a
+        deployment that grew to ``n`` shards handshakes identically to
+        one constructed with ``n`` shards.
+        """
+        if shard.shard_id in self._managers:
+            raise ConfigurationError(
+                f"shard {shard.shard_id} already has a session manager"
+            )
+        self._managers[shard.shard_id] = self._manager_for(shard)
+
+    def migrate(self, moves: dict[str, int], now: float = 0.0) -> dict[str, int]:
+        """Move live sessions between live shards (scale-out/scale-in).
+
+        Unlike :meth:`fail_over`, both ends of each move are alive, so the
+        mesh gate is checked for every (source, target) pair *before* any
+        session is dropped — a refused migration leaves every session
+        exactly where it was, and the caller can abort the membership
+        change.  Tenants in ``moves`` without a live session are skipped
+        (they will handshake on their new shard at next contact).
+        Returns the subset of ``moves`` actually migrated.
+        """
+        planned: list[tuple[str, int, int]] = []
+        for tenant, target in moves.items():
+            for manager in self._managers.values():
+                if tenant in manager.active_tenants:
+                    if manager.shard_id != target:
+                        planned.append((tenant, manager.shard_id, target))
+                    break
+        for tenant, source, target in planned:
+            self.mesh.assert_verified(source, target)
+        migrated: dict[str, int] = {}
+        for tenant, source, target in planned:
+            self._managers[source].drop(tenant)
+            # A migrated session re-attests on its new shard: trust is per
+            # shard, never copied across the mesh.
+            self._managers[target].connect(tenant, now)
+            self.migrations += 1
+            migrated[tenant] = target
+        return migrated
+
+    def retire(self, shard_id: int) -> list[str]:
+        """Forget a retired shard's manager, dropping any leftover sessions.
+
+        Returns the tenants whose sessions were still open (normally
+        empty — :meth:`migrate` runs first on the drain path); they
+        re-handshake wherever the router pins them next.
+        """
+        manager = self._managers.pop(shard_id, None)
+        if manager is None:
+            return []
+        leftovers = manager.active_tenants
+        for tenant in leftovers:
+            manager.drop(tenant)
+        return leftovers
 
     def fail_over(self, failed_shard: int, now: float = 0.0) -> dict[str, int]:
         """Migrate every session off a dead shard, re-attesting each tenant.
@@ -240,13 +308,13 @@ class ShardedSessionManager:
     @property
     def handshakes_performed(self) -> int:
         """Attestation handshakes across all shards (incl. migrations)."""
-        return sum(m.handshakes_performed for m in self._managers)
+        return sum(m.handshakes_performed for m in self._managers.values())
 
     @property
     def active_tenants(self) -> list[str]:
         """Tenants with an established session on any shard."""
-        return [t for m in self._managers for t in m.active_tenants]
+        return [t for m in self._managers.values() for t in m.active_tenants]
 
     def sessions_by_shard(self) -> dict[int, list[str]]:
         """Tenants per shard (for observability and tests)."""
-        return {m.shard_id: m.active_tenants for m in self._managers}
+        return {m.shard_id: m.active_tenants for m in self._managers.values()}

@@ -188,6 +188,49 @@ def ramping_trace(
     ]
 
 
+def phased_trace(
+    phases: list[tuple[int, float]],
+    input_shape: tuple[int, ...],
+    n_tenants: int = 4,
+    seed: int | None = 0,
+) -> list[TraceRequest]:
+    """Generate a piecewise-constant-load trace (the autoscale stressor).
+
+    ``phases`` is a list of ``(n_requests, mean_interarrival)`` segments
+    played back to back: a heavy segment (tight gaps) that saturates a
+    small deployment, then a lull (wide gaps) where provisioned capacity
+    sits idle, and so on.  Diurnal traffic in miniature — exactly the
+    regime where a static shard count is wrong in both directions and an
+    elastic deployment should win on shard-hours without losing p99.
+    """
+    if not phases:
+        raise ConfigurationError("phased trace needs >= 1 phase")
+    if n_tenants < 1:
+        raise ConfigurationError(f"trace needs >= 1 tenants, got {n_tenants}")
+    for n, gap in phases:
+        if n < 1:
+            raise ConfigurationError(f"phase needs >= 1 requests, got {n}")
+        if gap <= 0:
+            raise ConfigurationError(f"phase interarrival must be > 0, got {gap}")
+    rng = np.random.default_rng(seed)
+    tenants = [f"tenant{i}" for i in range(n_tenants)]
+    out: list[TraceRequest] = []
+    t = 0.0
+    for n, gap in phases:
+        gaps = rng.exponential(gap, size=n)
+        picks = rng.integers(0, n_tenants, size=n)
+        for i in range(n):
+            t += float(gaps[i])
+            out.append(
+                TraceRequest(
+                    time=t,
+                    tenant=tenants[int(picks[i])],
+                    x=rng.normal(size=input_shape),
+                )
+            )
+    return out
+
+
 def trace_from_arrays(
     x: np.ndarray,
     tenants: list[str] | None = None,

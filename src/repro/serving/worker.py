@@ -129,7 +129,32 @@ class InferenceWorkerPool:
         #: already exhausted at the failure frontier.
         self.retries_skipped_budget = 0
         self._failed_shards: set[int] = set()
+        self._retired_shards: dict[int, EnclaveShard] = {}
         self._stage_totals: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def join(self, shard: EnclaveShard) -> None:
+        """Add a newly provisioned (and mesh-attested) shard to the pool."""
+        if shard.shard_id in self.shards or shard.shard_id in self._retired_shards:
+            raise ConfigurationError(
+                f"shard {shard.shard_id} is already pooled"
+            )
+        self.shards[shard.shard_id] = shard
+
+    def retire(self, shard_id: int) -> EnclaveShard:
+        """Remove a drained shard from dispatch, keeping its stats visible.
+
+        The shard must exist; retired shards stay out of the failover
+        survivor count and receive no further windows, but
+        :meth:`worker_stats` still reports their lifetime totals.
+        """
+        if shard_id not in self.shards:
+            raise ConfigurationError(f"unknown pool shard id {shard_id}")
+        shard = self.shards.pop(shard_id)
+        self._retired_shards[shard_id] = shard
+        return shard
 
     @property
     def engine(self) -> PrivateInferenceEngine:
@@ -532,14 +557,17 @@ class InferenceWorkerPool:
         return dict(self._stage_totals)
 
     def worker_stats(self) -> list[dict]:
-        """Per-shard pipeline stats (one row per enclave shard)."""
+        """Per-shard pipeline stats (active and retired shards alike)."""
+        rows = dict(self.shards)
+        rows.update(self._retired_shards)
         return [
             {
                 "worker_id": shard_id,
                 "shard_id": shard_id,
                 "healthy": shard.healthy,
+                "state": shard.state,
                 "batches_run": shard.batches_run,
                 "busy_time": shard.busy_time,
             }
-            for shard_id, shard in sorted(self.shards.items())
+            for shard_id, shard in sorted(rows.items())
         ]

@@ -10,6 +10,13 @@ attestation): each shard quotes toward each peer, and the peer checks the
 platform signature and the expected measurement.  Failover then *asserts*
 the link before any session moves; an unverified (or impostor) shard can
 never inherit a session.
+
+Membership is dynamic: :meth:`AttestationMesh.extend` attests a joining
+shard *incrementally* — pairwise handshakes only against the current live
+members, ``2 * n_live`` instead of re-running the full ``n * (n - 1)``
+startup mesh — and :meth:`AttestationMesh.retire` removes a shard from
+future handshakes while keeping its verified links, so sessions draining
+*off* a retiring shard still cross an attested channel.
 """
 
 from __future__ import annotations
@@ -66,6 +73,46 @@ class AttestationMesh:
                 self.handshakes += 1
         self.established = True
         return self
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def extend(self, shard) -> "AttestationMesh":
+        """Attest a joining shard against the live members, incrementally.
+
+        Runs both handshake directions between the new shard and every
+        live existing member — ``2 * n_live`` quotes instead of the full
+        ``n * (n - 1)`` startup mesh — so scale-out cost stays linear in
+        the deployment size.  If the mesh has not been established yet,
+        the shard simply joins the roster and :meth:`establish` covers it.
+        """
+        if any(s.shard_id == shard.shard_id for s in self.shards):
+            raise ConfigurationError(
+                f"shard {shard.shard_id} is already a mesh member"
+            )
+        peers = [s for s in self.shards if s.healthy]
+        self.shards.append(shard)
+        if not self.established:
+            return self
+        for peer in peers:
+            for verifier, prover in ((peer, shard), (shard, peer)):
+                quote = prover.enclave.quote(
+                    report_data=f"mesh:{prover.shard_id}->{verifier.shard_id}".encode()
+                )
+                verifier.enclave.verify_peer_quote(quote, self.expected_measurement)
+                self._links.add((verifier.shard_id, prover.shard_id))
+                self.handshakes += 1
+        return self
+
+    def retire(self, shard_id: int) -> None:
+        """Drop a shard from future handshakes, keeping existing links.
+
+        Verified links survive retirement on purpose: the drain path
+        migrates the retiring shard's sessions *after* calling this, and
+        those migrations still :meth:`assert_verified` against the links
+        established while the shard was live.
+        """
+        self.shards = [s for s in self.shards if s.shard_id != shard_id]
 
     # ------------------------------------------------------------------
     # queries

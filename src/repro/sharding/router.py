@@ -25,12 +25,24 @@ On failure, :meth:`ShardRouter.fail_shard` removes the dead shard from
 the ring walk and re-pins its displaced tenants through the same
 placement rule, returning the remap so the session layer can migrate
 each displaced tenant's attested session.
+
+Membership is *dynamic*: :meth:`ShardRouter.add_shard` inserts a new
+shard's virtual nodes into the live ring and re-pins only the bounded
+set of tenants consistent hashing says now belong to it (about
+``pins / n_live``, optionally capped), and :meth:`ShardRouter.
+remove_shard` retires a shard gracefully — its tenants re-place through
+the normal rule, with :meth:`ShardRouter.begin_drain` available first so
+a draining shard stops receiving *new* tenants while its existing pins
+keep routing until the migration completes.  Constructing with
+``n_shards`` remains exactly equivalent to adding that many unit-weight
+shards up front, so every pre-elastic call site behaves unchanged.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
+import math
 
 from repro.errors import ConfigurationError, ShardError
 
@@ -96,6 +108,7 @@ class ShardRouter:
             if any(w <= 0 for w in weights):
                 raise ConfigurationError(f"shard weights must be > 0, got {weights}")
         self.n_shards = n_shards
+        self.replicas = replicas
         self.rebalance_margin = rebalance_margin
         self.weights = [1.0] * n_shards if weights is None else [float(w) for w in weights]
         self.slo = slo
@@ -110,6 +123,8 @@ class ShardRouter:
         self._pins: dict[str, int] = {}
         self._load = [0] * n_shards
         self._failed: set[int] = set()
+        self._retired: set[int] = set()
+        self._draining: set[int] = set()
         #: New tenants diverted off their ring candidate by load skew.
         self.rebalanced = 0
         #: Tenants re-pinned because their shard failed.  Kept separate
@@ -119,31 +134,45 @@ class ShardRouter:
         #: Above-default-priority tenants placed by SLO spreading rather
         #: than the hash ring.
         self.slo_pins = 0
+        #: Tenants re-pinned onto a newly provisioned shard (scale-out).
+        self.scale_repins = 0
+        #: Tenants re-pinned off a gracefully retired shard (scale-in).
+        self.drain_repins = 0
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
     def healthy_shards(self) -> list[int]:
-        """Shard ids currently accepting traffic."""
-        return [s for s in range(self.n_shards) if s not in self._failed]
+        """Shard ids currently serving traffic (draining shards included)."""
+        return [
+            s
+            for s in range(self.n_shards)
+            if s not in self._failed and s not in self._retired
+        ]
+
+    def placeable_shards(self) -> list[int]:
+        """Shard ids eligible for *new* pins (healthy and not draining)."""
+        return [s for s in self.healthy_shards() if s not in self._draining]
 
     def _normalized_load(self, shard: int) -> float:
         """Pinned tenants per unit of shard weight."""
         return self._load[shard] / self.weights[shard]
 
     def _lightest_shard(self) -> int:
-        """The healthy shard with the lowest weight-normalized load."""
-        return min(self.healthy_shards(), key=lambda s: (self._normalized_load(s), s))
+        """The placeable shard with the lowest weight-normalized load."""
+        return min(
+            self.placeable_shards(), key=lambda s: (self._normalized_load(s), s)
+        )
 
     def ring_candidate(self, tenant: str) -> int:
-        """The consistent-hashing placement, skipping failed shards."""
-        healthy = self.healthy_shards()
-        if not healthy:
+        """The consistent-hashing placement, skipping unplaceable shards."""
+        if not self.placeable_shards():
             raise ShardError("no healthy shards left to route to")
+        blocked = self._failed | self._retired | self._draining
         start = bisect.bisect_left(self._ring_keys, _stable_hash(tenant))
         for offset in range(len(self._ring_shards)):
             shard = self._ring_shards[(start + offset) % len(self._ring_shards)]
-            if shard not in self._failed:
+            if shard not in blocked:
                 return shard
         raise ShardError("no healthy shards left to route to")
 
@@ -165,7 +194,11 @@ class ShardRouter:
         straight to the lightest shard.
         """
         pinned = self._pins.get(tenant)
-        if pinned is not None and pinned not in self._failed:
+        if (
+            pinned is not None
+            and pinned not in self._failed
+            and pinned not in self._retired
+        ):
             return pinned
         return self._place(tenant, count_as_rebalance=True)
 
@@ -177,7 +210,7 @@ class ShardRouter:
         :meth:`fail_shard` so the two telemetry streams stay disjoint.
         SLO spreads are counted in ``slo_pins`` either way.
         """
-        if not self.healthy_shards():
+        if not self.placeable_shards():
             raise ShardError("no healthy shards left to route to")
         if self._is_premium(tenant):
             candidate = self._lightest_shard()
@@ -207,14 +240,15 @@ class ShardRouter:
         """
         if shard_id not in range(self.n_shards):
             raise ConfigurationError(f"unknown shard id {shard_id}")
-        if shard_id in self._failed:
+        if shard_id in self._failed or shard_id in self._retired:
             return {}
         self._failed.add(shard_id)
+        self._draining.discard(shard_id)
         displaced = [t for t, s in self._pins.items() if s == shard_id]
         for tenant in displaced:
             del self._pins[tenant]
         self._load[shard_id] = 0
-        if not self.healthy_shards():
+        if not self.placeable_shards():
             # Nothing left to re-pin onto; tenants stay unpinned and the
             # next routing attempt surfaces the outage.
             return {}
@@ -228,6 +262,145 @@ class ShardRouter:
     def is_failed(self, shard_id: int) -> bool:
         """True when the shard has been removed from rotation."""
         return shard_id in self._failed
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def add_shard(
+        self, weight: float = 1.0, max_migrations: int | None = None
+    ) -> tuple[int, dict[str, int]]:
+        """Insert a new shard into the live ring with bounded re-pinning.
+
+        The new shard gets the next monotonic id (failed and retired ids
+        are never reused, so router ids stay aligned with the server's
+        shard list), ``weight`` virtual-node share on the ring, and an
+        empty load slot.  Existing pinned tenants move only when the
+        updated ring says the new shard is now their candidate — about
+        ``pins / n_placeable`` tenants for unit weight — topped up from
+        the heaviest shard while the load gap exceeds
+        ``rebalance_margin``, with the total move count capped by
+        ``max_migrations`` (default: ``ceil(pins / n_placeable)``).
+
+        Returns ``(shard_id, remap)`` where ``remap`` maps each moved
+        tenant to the new shard, in deterministic first-pinned order, so
+        the session layer can migrate attested sessions in lockstep.
+        """
+        if weight <= 0:
+            raise ConfigurationError(f"shard weight must be > 0, got {weight}")
+        shard_id = self.n_shards
+        self.n_shards += 1
+        self.weights.append(float(weight))
+        self._load.append(0)
+        for replica in range(max(1, round(self.replicas * weight))):
+            key = _stable_hash(f"shard{shard_id}/vnode{replica}")
+            at = bisect.bisect_left(self._ring_keys, key)
+            self._ring_keys.insert(at, key)
+            self._ring_shards.insert(at, shard_id)
+        n_placeable = len(self.placeable_shards())
+        if max_migrations is None:
+            max_migrations = math.ceil(len(self._pins) / max(1, n_placeable))
+        remap: dict[str, int] = {}
+        # Pass 1: tenants whose ring candidate the new shard now is.
+        for tenant, pinned in list(self._pins.items()):
+            if len(remap) >= max_migrations:
+                break
+            if pinned == shard_id or self._is_premium(tenant):
+                continue
+            if self.ring_candidate(tenant) == shard_id:
+                self._load[pinned] -= 1
+                self._pins[tenant] = shard_id
+                self._load[shard_id] += 1
+                remap[tenant] = shard_id
+        # Pass 2: drain the heaviest shard while the imbalance the new
+        # shard was provisioned to fix still exceeds the margin.
+        while len(remap) < max_migrations:
+            heaviest = max(
+                self.placeable_shards(),
+                key=lambda s: (self._normalized_load(s), -s),
+            )
+            if heaviest == shard_id or (
+                self._normalized_load(heaviest)
+                - self._normalized_load(shard_id)
+                < self.rebalance_margin
+            ):
+                break
+            movable = [
+                t
+                for t, s in self._pins.items()
+                if s == heaviest and not self._is_premium(t)
+            ]
+            if not movable:
+                break
+            tenant = movable[0]
+            self._load[heaviest] -= 1
+            self._pins[tenant] = shard_id
+            self._load[shard_id] += 1
+            remap[tenant] = shard_id
+        self.scale_repins += len(remap)
+        return shard_id, remap
+
+    def begin_drain(self, shard_id: int) -> None:
+        """Stop pinning *new* tenants to a shard ahead of its removal.
+
+        Existing pins keep routing to the draining shard so in-flight
+        sessions finish where they started; :meth:`remove_shard`
+        completes the retirement once the drain has flushed.
+        """
+        if shard_id not in range(self.n_shards):
+            raise ConfigurationError(f"unknown shard id {shard_id}")
+        if shard_id in self._failed or shard_id in self._retired:
+            raise ShardError(f"shard {shard_id} is not live; cannot drain")
+        if len(self.placeable_shards()) <= 1 and shard_id in self.placeable_shards():
+            raise ShardError("cannot drain the last placeable shard")
+        self._draining.add(shard_id)
+
+    def is_draining(self, shard_id: int) -> bool:
+        """True while the shard accepts no new pins pending retirement."""
+        return shard_id in self._draining
+
+    def remove_shard(self, shard_id: int) -> dict[str, int]:
+        """Gracefully retire a shard and re-pin its remaining tenants.
+
+        Unlike :meth:`fail_shard` this is a *planned* removal: the
+        shard's virtual nodes leave the ring, its tenants re-place
+        through the normal rule (counted in :attr:`drain_repins`, not
+        :attr:`failover_repins`), and the returned remap lets the
+        session layer migrate each displaced tenant's attested session
+        over the still-verified mesh links.
+        """
+        if shard_id not in range(self.n_shards):
+            raise ConfigurationError(f"unknown shard id {shard_id}")
+        if shard_id in self._failed:
+            raise ShardError(
+                f"shard {shard_id} already failed; use fail_shard accounting"
+            )
+        if shard_id in self._retired:
+            return {}
+        if len(self.healthy_shards()) <= 1:
+            raise ShardError("cannot remove the last serving shard")
+        self._retired.add(shard_id)
+        self._draining.discard(shard_id)
+        keep = [
+            (k, s)
+            for k, s in zip(self._ring_keys, self._ring_shards)
+            if s != shard_id
+        ]
+        self._ring_keys = [k for k, _ in keep]
+        self._ring_shards = [s for _, s in keep]
+        displaced = [t for t, s in self._pins.items() if s == shard_id]
+        for tenant in displaced:
+            del self._pins[tenant]
+        self._load[shard_id] = 0
+        remap = {
+            tenant: self._place(tenant, count_as_rebalance=False)
+            for tenant in displaced
+        }
+        self.drain_repins += len(remap)
+        return remap
+
+    def is_retired(self, shard_id: int) -> bool:
+        """True when the shard was gracefully removed from the ring."""
+        return shard_id in self._retired
 
     # ------------------------------------------------------------------
     # introspection

@@ -51,6 +51,11 @@ class EnclaveShard:
         #: Enclave-occupied simulated seconds across dispatched windows.
         self.busy_time = 0.0
         self._fail_after: int | None = None
+        #: Lifecycle marks for elastic membership (simulated seconds).
+        self.draining = False
+        self.retired = False
+        self.provisioned_at = 0.0
+        self.retired_at: float | None = None
 
     @classmethod
     def provision(
@@ -114,6 +119,35 @@ class EnclaveShard:
     def n_gpus(self) -> int:
         """Simulated devices this shard occupies."""
         return len(self.cluster)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``active`` / ``draining`` / ``retired`` / ``failed``."""
+        if self.retired:
+            return "retired"
+        if not self.healthy:
+            return "failed"
+        if self.draining:
+            return "draining"
+        return "active"
+
+    def begin_drain(self) -> None:
+        """Mark the shard as winding down; it still serves pinned work."""
+        self.draining = True
+
+    def decommission(self, now: float = 0.0) -> None:
+        """Planned retirement: drained, flushed, sessions migrated, done.
+
+        Unlike :meth:`kill`, this is the graceful end of the lifecycle —
+        the autoscaler's shard-seconds accounting closes at ``now``.
+        """
+        self.retired = True
+        self.draining = False
+        self.healthy = False
+        self.retired_at = now
 
     # ------------------------------------------------------------------
     # failure injection

@@ -326,3 +326,87 @@ def test_audit_empty_dir_errors_cleanly(tmp_path, capsys):
     rc = main(["audit", "check-chain", "--log-dir", str(tmp_path)])
     assert rc == 2
     assert "no shard" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the unified config surface (--config) and elastic serving (--autoscale)
+# ----------------------------------------------------------------------
+def test_serve_with_config_preset(capsys):
+    rc = main(["serve", "--config", "throughput", "--requests", "16", "--seed", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # The preset's K=8 took effect without any per-field flag.
+    assert "coalesced K=8" in out
+    assert "completed requests  | 16" in out
+
+
+def test_serve_with_config_file_round_trips(tmp_path, capsys):
+    import json
+
+    from repro.serving import ServingConfig
+
+    cfg = ServingConfig.preset("latency")
+    path = tmp_path / "serving.json"
+    path.write_text(json.dumps(cfg.to_dict()))
+    rc = main(["serve", "--config", str(path), "--requests", "16", "--seed", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "adaptive K=" in out  # the file's adaptive section took effect
+    assert "completed requests  | 16" in out
+
+
+def test_serve_config_rejects_unknown_preset_and_bad_file(tmp_path, capsys):
+    rc = main(["serve", "--config", "warp-speed", "--requests", "4"])
+    assert rc == 2
+    assert "neither a preset" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"no_such_key": 1}')
+    rc = main(["serve", "--config", str(bad), "--requests", "4"])
+    assert rc == 2
+    assert "unknown serving config keys" in capsys.readouterr().err
+
+
+def test_serve_superseded_flags_warn_but_still_override(capsys):
+    with pytest.warns(DeprecationWarning, match="--virtual-batch"):
+        rc = main(
+            [
+                "serve",
+                "--config", "throughput",
+                "--virtual-batch", "2",
+                "--requests", "8",
+                "--seed", "0",
+            ]
+        )
+    assert rc == 0
+    assert "coalesced K=2" in capsys.readouterr().out  # flag beat the preset
+
+
+def test_serve_workers_flag_is_deprecated(capsys):
+    with pytest.warns(DeprecationWarning, match="--workers"):
+        rc = main(["serve", "--requests", "8", "--workers", "3", "--seed", "0"])
+    assert rc == 0
+
+
+def test_serve_autoscale_smoke(capsys):
+    rc = main(
+        [
+            "serve",
+            "--requests", "48",
+            "--rate", "20000",
+            "--autoscale",
+            "--max-shards", "3",
+            "--seed", "0",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "elastic 1-3 shard(s)" in out
+    assert "completed requests  | 48" in out
+    assert "autoscale:" in out
+    assert "shard-seconds" in out
+
+
+def test_serve_autoscale_knobs_require_autoscale(capsys):
+    rc = main(["serve", "--requests", "4", "--min-shards", "2"])
+    assert rc == 2
+    assert "--autoscale" in capsys.readouterr().err

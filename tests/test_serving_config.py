@@ -1,0 +1,113 @@
+"""The unified serving-config surface: dict round-trip and presets.
+
+``ServingConfig`` threads five sub-configs (DarKnight, adaptive
+batching, SLO policy, audit trail, autoscale) behind one strict-JSON
+surface: ``to_dict``/``from_dict`` must round-trip every combination,
+reject typos loudly, and encode infinite SLO budgets as ``null``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.timing import StageCostModel
+from repro.runtime import DarKnightConfig
+from repro.serving import (
+    PRESETS,
+    AdaptiveBatchingConfig,
+    AuditConfig,
+    AutoscaleConfig,
+    ServingConfig,
+    build_slo_policy,
+)
+
+
+def _full_config():
+    return ServingConfig(
+        darknight=DarKnightConfig(
+            virtual_batch_size=8,
+            integrity=True,
+            pipeline_depth=2,
+            num_shards=2,
+            seed=7,
+        ),
+        max_batch_wait=5e-3,
+        queue_capacity=128,
+        coalesce=True,
+        stage_costs=StageCostModel(),
+        adaptive=AdaptiveBatchingConfig(target_fill=0.7),
+        slo=build_slo_policy({"premium": 5e-3}, {"tenant0": "premium"}),
+        shard_weights=(2.0, 1.0),
+        audit=AuditConfig(log_dir="/tmp/audit", model="tiny"),
+        autoscale=AutoscaleConfig(min_shards=1, max_shards=3),
+    )
+
+
+def test_default_config_round_trips():
+    cfg = ServingConfig()
+    assert ServingConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_full_config_round_trips_every_sub_config():
+    cfg = _full_config()
+    rebuilt = ServingConfig.from_dict(cfg.to_dict())
+    assert rebuilt == cfg
+    assert rebuilt.darknight == cfg.darknight
+    assert rebuilt.adaptive == cfg.adaptive
+    assert rebuilt.audit == cfg.audit
+    assert rebuilt.autoscale == cfg.autoscale
+    assert rebuilt.slo.classes == cfg.slo.classes
+    assert rebuilt.slo.assignments == cfg.slo.assignments
+    assert rebuilt.shard_weights == cfg.shard_weights
+
+
+def test_to_dict_is_strict_json_safe_with_infinite_budgets():
+    cfg = _full_config()
+    # The default SLO class carries an infinite budget; it must encode
+    # as null, not the non-strict Infinity literal.
+    assert math.isinf(cfg.slo.classes["standard"].latency_budget)
+    text = json.dumps(cfg.to_dict(), allow_nan=False, sort_keys=True)
+    rebuilt = ServingConfig.from_dict(json.loads(text))
+    assert math.isinf(rebuilt.slo.classes["standard"].latency_budget)
+    assert rebuilt == cfg
+
+
+def test_from_dict_rejects_unknown_keys_and_non_dicts():
+    with pytest.raises(ConfigurationError, match="unknown serving config"):
+        ServingConfig.from_dict({"batch_wait": 0.01})
+    with pytest.raises(ConfigurationError):
+        ServingConfig.from_dict(["not", "a", "dict"])
+    with pytest.raises(ConfigurationError, match="bad serving config"):
+        ServingConfig.from_dict(
+            {"adaptive": {"target_fill": 0.8, "typo_knob": 1}}
+        )
+
+
+def test_from_dict_validates_sub_config_values():
+    with pytest.raises(ConfigurationError):
+        ServingConfig.from_dict({"autoscale": {"min_shards": 0}})
+    with pytest.raises(ConfigurationError):
+        ServingConfig.from_dict({"darknight": {"virtual_batch_size": 0}})
+
+
+@pytest.mark.parametrize("name", PRESETS)
+def test_every_preset_builds_and_round_trips(name):
+    cfg = ServingConfig.preset(name)
+    assert ServingConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_presets_carry_their_posture():
+    assert ServingConfig.preset("latency").adaptive is not None
+    assert ServingConfig.preset("latency").darknight.pipeline_depth == 2
+    assert ServingConfig.preset("throughput").darknight.virtual_batch_size == 8
+    audited = ServingConfig.preset("audited")
+    assert audited.darknight.integrity and audited.audit is not None
+
+
+def test_preset_overrides_and_unknown_name():
+    cfg = ServingConfig.preset("latency", queue_capacity=64)
+    assert cfg.queue_capacity == 64
+    with pytest.raises(ConfigurationError, match="unknown serving preset"):
+        ServingConfig.preset("speed")
