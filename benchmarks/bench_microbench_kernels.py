@@ -21,7 +21,13 @@ import numpy as np
 import pytest
 
 from repro.fieldmath import FieldRng, PrimeField, field_matmul
-from repro.masking import CoefficientSet, ForwardDecoder, ForwardEncoder
+from repro.masking import (
+    BackwardDecoder,
+    CoefficientSet,
+    ForwardDecoder,
+    ForwardEncoder,
+    reference_aggregate,
+)
 from repro.nn.functional import conv2d_via_matmul
 
 FIELD = PrimeField()
@@ -121,6 +127,33 @@ def test_forward_decode_speed(benchmark, backend):
     with use_backend(backend):
         decoded = benchmark(lambda: decoder.decode(outputs))
     assert decoded.shape == (4, 3, 32, 32)
+
+
+@pytest.mark.parametrize("backend", ["generic", "limb"])
+def test_backward_decode_many_speed(benchmark, backend):
+    """Batched gamma decode: R equation sets in one GEMM (bit-checked)."""
+    from repro.fieldmath import use_backend
+
+    coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
+    decoder = BackwardDecoder(coeffs)
+    equations = RNG.uniform((16, coeffs.n_shares, 64, 64))
+    with use_backend(backend):
+        decoded = benchmark(lambda: decoder.decode_many(equations))
+    assert decoded.shape == (16, 64, 64)
+    loop = np.stack([decoder.decode(eq) for eq in equations])
+    assert np.array_equal(decoded, loop)
+
+
+def test_backward_reference_aggregate_speed(benchmark):
+    """The unmasked Σ<δ,x> baseline: stacked terms, one modular reduction."""
+    deltas = RNG.uniform((32, 64))
+    inputs = RNG.uniform((32, 128))
+
+    def outer(d, x):
+        return field_matmul(FIELD, x.reshape(-1, 1), d.reshape(1, -1))
+
+    out = benchmark(lambda: reference_aggregate(FIELD, deltas, inputs, outer))
+    assert out.shape == (128, 64)
 
 
 def test_coefficient_generation_speed(benchmark):

@@ -26,7 +26,10 @@ Usage::
 ``--autoscale`` additionally validates the autoscale exhibit's artifact:
 its ``extra_info`` ratios (elastic p99 vs static max provisioning, and
 elastic shard-seconds vs the static bill) must stay inside the fixed
-bounds asserted by ``bench_autoscale.py``.
+bounds asserted by ``bench_autoscale.py``.  ``--partition`` does the same
+for the layer-partition exhibit (``bench_layer_partition.py``): its
+``p99_ratio`` (3-stage pipeline group vs single enclave) must stay at or
+below 0.75.
 
 ``--append`` adds the new entry to the trajectory file on a passing run
 (and seeds the file when it does not exist yet), so the history grows one
@@ -48,6 +51,8 @@ TRACKED = (
     "test_field_matmul_limb_speed_n256",
     "test_forward_encode_speed[limb]",
     "test_forward_decode_speed[limb]",
+    "test_backward_decode_many_speed[limb]",
+    "test_backward_reference_aggregate_speed",
     "test_coefficient_generation_speed",
     "test_conv2d_batched_gemm_speed",
 )
@@ -62,6 +67,13 @@ HISTORY_WINDOW = 5
 #: (mirrors the assertions inside ``bench_autoscale.py``).
 AUTOSCALE_BENCH = "test_autoscale_matches_static_p99_at_fraction_of_shard_seconds"
 AUTOSCALE_BOUNDS = {"p99_ratio": 1.10, "shard_seconds_ratio": 0.70}
+
+#: The layer-partition exhibit's name and bound: p99 at 3 partitions must
+#: stay at <= 0.75x the single-enclave baseline (``bench_layer_partition.py``
+#: itself asserts the tighter >= 1.5x improvement; the gate keeps slack for
+#: noisy CI neighbours).
+PARTITION_BENCH = "test_layer_partition_cuts_p99_with_bit_identical_logits"
+PARTITION_BOUNDS = {"p99_ratio": 0.75}
 
 
 def _reject(constant: str):
@@ -143,6 +155,32 @@ def check_autoscale(path: Path) -> list[str]:
     return failures
 
 
+def check_partition(path: Path) -> list[str]:
+    """Validate the layer-partition artifact's p99 ratio against its bound.
+
+    The exhibit records ``p99_ratio`` (3-stage pipeline-group tail vs the
+    single whole-model enclave) in ``extra_info``; drifting past the bound
+    means partitioning stopped cutting per-request latency.
+    """
+    data = _load_strict(path)
+    rows = [b for b in data["benchmarks"] if b["name"] == PARTITION_BENCH]
+    if not rows:
+        return [f"partition benchmark {PARTITION_BENCH!r} missing from {path}"]
+    info = rows[0].get("extra_info", {})
+    failures = []
+    for key, bound in PARTITION_BOUNDS.items():
+        value = info.get(key)
+        if value is None:
+            failures.append(f"partition artifact lacks extra_info[{key!r}]")
+        elif float(value) > bound:
+            failures.append(
+                f"partition {key} {float(value):.3f} exceeds bound {bound:.2f}"
+            )
+        else:
+            print(f"partition {key}: {float(value):.3f} (bound {bound:.2f})")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
@@ -171,6 +209,14 @@ def main(argv: list[str]) -> int:
         help="also gate the autoscale exhibit's JSON artifact"
              " (p99_ratio / shard_seconds_ratio bounds)",
     )
+    parser.add_argument(
+        "--partition",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also gate the layer-partition exhibit's JSON artifact"
+             " (p99_ratio at 3 partitions vs the single-enclave baseline)",
+    )
     args = parser.parse_args(argv)
 
     bench_json = _load_strict(args.results)
@@ -190,6 +236,8 @@ def main(argv: list[str]) -> int:
     failures = check(ratios, baseline, args.threshold)
     if args.autoscale is not None:
         failures += check_autoscale(args.autoscale)
+    if args.partition is not None:
+        failures += check_partition(args.partition)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

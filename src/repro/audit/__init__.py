@@ -10,6 +10,8 @@ serving-side trail that ties them together (:mod:`repro.audit.trail`).
 """
 
 from repro.audit.commitment import (
+    MEMBERSHIP_KINDS,
+    MEMBERSHIP_STATUS_PREFIX,
     STATUS_RETRIED,
     WindowCommitment,
     array_digest,
@@ -39,6 +41,8 @@ from repro.audit.trail import (
 
 __all__ = [
     "EMPTY_ROOT",
+    "MEMBERSHIP_KINDS",
+    "MEMBERSHIP_STATUS_PREFIX",
     "STATUS_RETRIED",
     "AuditConfig",
     "AuditLog",

@@ -36,6 +36,14 @@ from repro.errors import AuditError
 #: re-dispatched — their terminal leaf lives in a later window.
 STATUS_RETRIED = "retried"
 
+#: Window-status prefix marking a membership-change event (provision /
+#: drain / retire) committed as a first-class chained entry on the
+#: affected shard's log.
+MEMBERSHIP_STATUS_PREFIX = "membership:"
+
+#: The membership-event kinds the chain accepts.
+MEMBERSHIP_KINDS = ("provision", "drain", "retire")
+
 
 # ----------------------------------------------------------------------
 # canonical serialization
@@ -270,6 +278,48 @@ class WindowCommitment:
             config_digest=config_digest,
             seed=seed,
             leaf_blobs=blobs,
+        )
+
+    @classmethod
+    def build_membership(
+        cls,
+        shard_id: int,
+        kind: str,
+        time: float,
+        details: dict | None = None,
+        config_digest: str | None = None,
+        seed: int | None = None,
+    ) -> "WindowCommitment":
+        """Commit one membership-change event to a shard's chain.
+
+        Elastic membership is audit-visible: a shard that joins
+        (``provision``), winds down (``drain``), or leaves (``retire``)
+        the deployment gets a first-class chained entry on its *own* log
+        with status ``membership:<kind>`` and a single event leaf, so an
+        auditor walking the chain sees exactly when the shard served —
+        and an operator cannot silently splice a shard's service life out
+        of the record.
+        """
+        if kind not in MEMBERSHIP_KINDS:
+            raise AuditError(
+                f"unknown membership event kind {kind!r}"
+                f" (expected one of {list(MEMBERSHIP_KINDS)})"
+            )
+        leaf = {
+            "event": kind,
+            "shard_id": int(shard_id),
+            "time": float(time),
+            "status": MEMBERSHIP_STATUS_PREFIX + kind,
+            "details": dict(details or {}),
+        }
+        return cls(
+            shard_id=int(shard_id),
+            batch_ids=[],
+            flush_time=float(time),
+            status=MEMBERSHIP_STATUS_PREFIX + kind,
+            leaves=[leaf],
+            config_digest=config_digest,
+            seed=seed,
         )
 
     # ------------------------------------------------------------------

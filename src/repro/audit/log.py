@@ -24,7 +24,13 @@ import hashlib
 import json
 from pathlib import Path
 
-from repro.audit.commitment import WindowCommitment, canonical_json_bytes, digest_json
+from repro.audit.commitment import (
+    MEMBERSHIP_KINDS,
+    MEMBERSHIP_STATUS_PREFIX,
+    WindowCommitment,
+    canonical_json_bytes,
+    digest_json,
+)
 from repro.audit.merkle import MerkleTree, leaf_digest
 from repro.errors import AuditError
 
@@ -166,6 +172,26 @@ class AuditLog:
                     f"window {i}: metadata claims window"
                     f" {meta.get('window_id')} of shard {meta.get('shard_id')}"
                 )
+            status = meta.get("status")
+            if isinstance(status, str) and status.startswith(
+                MEMBERSHIP_STATUS_PREFIX
+            ):
+                kind = status[len(MEMBERSHIP_STATUS_PREFIX) :]
+                leaves = entry["leaves"]
+                if kind not in MEMBERSHIP_KINDS:
+                    raise AuditError(
+                        f"window {i}: unknown membership event kind {kind!r}"
+                    )
+                if len(leaves) != 1 or leaves[0].get("event") != kind:
+                    raise AuditError(
+                        f"window {i}: membership window must hold exactly one"
+                        f" {kind!r} event leaf"
+                    )
+                if leaves[0].get("shard_id") != self.shard_id:
+                    raise AuditError(
+                        f"window {i}: membership event names shard"
+                        f" {leaves[0].get('shard_id')}, not {self.shard_id}"
+                    )
             recomputed = MerkleTree(
                 [leaf_digest(canonical_json_bytes(leaf)) for leaf in entry["leaves"]]
             ).root
@@ -187,6 +213,33 @@ class AuditLog:
                 )
             prev = entry["chain_root"]
         return len(self.entries)
+
+    def membership_events(self) -> list[dict]:
+        """The chain's membership-change events, oldest first.
+
+        Each record is ``{"window_id", "kind", "shard_id", "time",
+        "details"}`` taken from the event leaf of every
+        ``membership:<kind>`` window.
+        """
+        events = []
+        for entry in self.entries:
+            status = entry["meta"].get("status", "")
+            if not (
+                isinstance(status, str)
+                and status.startswith(MEMBERSHIP_STATUS_PREFIX)
+            ):
+                continue
+            leaf = entry["leaves"][0]
+            events.append(
+                {
+                    "window_id": entry["meta"]["window_id"],
+                    "kind": leaf.get("event"),
+                    "shard_id": leaf.get("shard_id"),
+                    "time": leaf.get("time"),
+                    "details": leaf.get("details", {}),
+                }
+            )
+        return events
 
     # ------------------------------------------------------------------
     # reading logs back

@@ -81,7 +81,8 @@ def prove(log: AuditLog, request_id: int) -> InclusionProof:
     fallback: tuple[int, int] | None = None
     for w in range(len(log.entries) - 1, -1, -1):
         for i, leaf in enumerate(log.entries[w]["leaves"]):
-            if leaf["request_id"] != request_id:
+            # Membership-event leaves carry no request id; skip them.
+            if leaf.get("request_id") != request_id:
                 continue
             if leaf["status"] != STATUS_RETRIED:
                 best = (w, i)

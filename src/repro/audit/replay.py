@@ -22,7 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.audit.commitment import array_digest, array_from_canonical
+from repro.audit.commitment import (
+    MEMBERSHIP_STATUS_PREFIX,
+    array_digest,
+    array_from_canonical,
+)
 from repro.errors import AuditError
 from repro.runtime.config import DarKnightConfig
 from repro.sharding.shard import EnclaveShard
@@ -77,6 +81,12 @@ def replay_window(
     """
     meta = entry["meta"]
     leaves = entry["leaves"]
+    status = meta.get("status", "")
+    if isinstance(status, str) and status.startswith(MEMBERSHIP_STATUS_PREFIX):
+        raise AuditError(
+            f"window {meta.get('window_id')} is a membership event"
+            f" ({status}); there is no computation to replay"
+        )
     if not leaves:
         raise AuditError(
             f"window {meta.get('window_id')} is empty: nothing to replay"

@@ -83,6 +83,8 @@ class AuditTrail:
         self.leaves_committed = 0
         self.bytes_written = 0
         self.commit_seconds = 0.0
+        #: Membership-change windows chained via :meth:`record_membership`.
+        self.membership_events = 0
         if self.log_dir is not None:
             self._write_manifest()
 
@@ -120,6 +122,61 @@ class AuditTrail:
         if self.log_dir is not None:
             self._write_manifest()
 
+    def record_membership(
+        self,
+        kind: str,
+        shard_id: int,
+        now: float = 0.0,
+        details: dict | None = None,
+    ) -> dict:
+        """Chain one membership-change event on the affected shard's log.
+
+        Called by the server's elastic-membership paths: ``provision``
+        opens a shard's service life, ``drain`` marks the wind-down, and
+        ``retire`` closes it — all as first-class chained windows, so
+        ``verify`` / ``check-chain`` attest the membership history along
+        with the served work.
+        """
+        shard_id = int(shard_id)
+        if shard_id not in self.logs:
+            raise AuditError(
+                f"audit trail has no log for shard {shard_id}"
+                f" ({self.num_shards} provisioned)"
+            )
+        commitment = WindowCommitment.build_membership(
+            shard_id=shard_id,
+            kind=kind,
+            time=now,
+            details=details,
+            config_digest=self.config_digest,
+            seed=self.darknight.seed,
+        )
+        entry = self._append(shard_id, commitment)
+        self.membership_events += 1
+        return entry
+
+    def _append(
+        self, shard_id: int, commitment: WindowCommitment, extra_seconds: float = 0.0
+    ) -> dict:
+        """Chain one commitment with full cost accounting.
+
+        ``extra_seconds`` folds in time the caller already spent building
+        the commitment, so commit-cost telemetry covers the whole path.
+        """
+        start = time.perf_counter()
+        log = self.logs[shard_id]
+        before = log.bytes_written
+        entry = log.append(commitment)
+        elapsed = time.perf_counter() - start + extra_seconds
+        nbytes = log.bytes_written - before
+        self.windows_committed += 1
+        self.leaves_committed += len(commitment.leaves)
+        self.bytes_written += nbytes
+        self.commit_seconds += elapsed
+        if self.on_commit is not None:
+            self.on_commit(len(commitment.leaves), nbytes, elapsed)
+        return entry
+
     # ------------------------------------------------------------------
     # the commit path (called by the worker pool per flushed window)
     # ------------------------------------------------------------------
@@ -139,8 +196,6 @@ class AuditTrail:
                 f" ({self.num_shards} provisioned)"
             )
         start = time.perf_counter()
-        log = self.logs[shard_id]
-        before = log.bytes_written
         commitment = WindowCommitment.build(
             shard_id=shard_id,
             batches=batches,
@@ -152,16 +207,9 @@ class AuditTrail:
             config_digest=self.config_digest,
             seed=self.darknight.seed,
         )
-        entry = log.append(commitment)
-        elapsed = time.perf_counter() - start
-        nbytes = log.bytes_written - before
-        self.windows_committed += 1
-        self.leaves_committed += len(commitment.leaves)
-        self.bytes_written += nbytes
-        self.commit_seconds += elapsed
-        if self.on_commit is not None:
-            self.on_commit(len(commitment.leaves), nbytes, elapsed)
-        return entry
+        return self._append(
+            shard_id, commitment, extra_seconds=time.perf_counter() - start
+        )
 
     # ------------------------------------------------------------------
     # read side

@@ -58,10 +58,11 @@ def build_serving_model(name: str, seed: int = 0):
     """Build a named model for serving; returns ``(network, input_shape)``.
 
     ``tiny`` is a dense head small enough for smoke tests and CI;
-    ``mini-vgg`` exercises the full conv path.
+    ``mini-vgg`` exercises the full conv path; ``mini-resnet`` adds
+    residual blocks — the deep plan layered partitioning wants.
     """
     from repro.errors import ConfigurationError
-    from repro.models import build_mini_vgg
+    from repro.models import build_mini_resnet, build_mini_vgg
     from repro.nn import Sequential
     from repro.nn.layers import Dense, ReLU
 
@@ -78,7 +79,15 @@ def build_serving_model(name: str, seed: int = 0):
             input_shape=input_shape, n_classes=10, rng=rng, width=8
         )
         return network, input_shape
-    raise ConfigurationError(f"unknown serving model {name!r} (tiny | mini-vgg)")
+    if name == "mini-resnet":
+        input_shape = (3, 8, 8)
+        network = build_mini_resnet(
+            input_shape=input_shape, n_classes=10, rng=rng, width=8
+        )
+        return network, input_shape
+    raise ConfigurationError(
+        f"unknown serving model {name!r} (tiny | mini-vgg | mini-resnet)"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -118,7 +127,9 @@ def _serve_parser() -> argparse.ArgumentParser:
         prog="python -m repro serve",
         description="Serve a synthetic multi-tenant inference trace privately.",
     )
-    parser.add_argument("--model", default="tiny", help="tiny | mini-vgg")
+    parser.add_argument(
+        "--model", default="tiny", help="tiny | mini-vgg | mini-resnet"
+    )
     parser.add_argument("--requests", type=int, default=64, help="trace length")
     parser.add_argument("--tenants", type=int, default=4, help="distinct tenants")
     parser.add_argument(
@@ -191,6 +202,14 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="enclave shards tenants are partitioned across (each shard is"
              " its own enclave + GPU cluster on a parallel timeline;"
              " default 1 — with --autoscale this is only the initial count)",
+    )
+    parser.add_argument(
+        "--partition", default=None, metavar="MODE",
+        help="shard topology: 'replicated' (every shard runs the whole"
+             " model, the default) or 'layered:N' (cut the execution plan"
+             " into N contiguous stages; shards chain into pipeline groups"
+             " of N, handing sealed activations over attested channels;"
+             " logits stay bit-identical to replicated)",
     )
     parser.add_argument(
         "--autoscale", action="store_true",
@@ -331,6 +350,7 @@ _SUPERSEDED_FLAGS = (
     ("--pipeline-depth", "pipeline_depth"),
     ("--stage-ranker", "stage_ranker"),
     ("--num-shards", "num_shards"),
+    ("--partition", "partition"),
     ("--queue-capacity", "queue_capacity"),
     ("--field-backend", "field_backend"),
     ("--epc-budget", "epc_budget"),
@@ -409,6 +429,9 @@ def _serve(args) -> int:
     )
     n_workers = pick(args.workers, base.n_workers if base else None, 2)
     coalesce = not args.per_request and (base.coalesce if base else True)
+    partition = pick(
+        args.partition, base.partition if base else None, "replicated"
+    )
 
     if args.rate <= 0:
         raise ConfigurationError(f"--rate must be > 0, got {args.rate}")
@@ -499,6 +522,7 @@ def _serve(args) -> int:
     network, input_shape = build_serving_model(args.model, seed=seed)
     overrides = dict(
         darknight=dk,
+        partition=partition,
         max_batch_wait=batch_wait,
         queue_capacity=queue_capacity,
         n_workers=n_workers,
@@ -734,6 +758,7 @@ def run_audit(argv: list[str]) -> int:
         # check-chain
         logs = _audit_logs(args.log_dir, recover=args.recover)
         total = 0
+        events = []
         for shard_id in sorted(logs):
             log, dropped = logs[shard_id]
             checked = log.verify_chain()
@@ -745,6 +770,15 @@ def run_audit(argv: list[str]) -> int:
             if dropped:
                 line += f" ({dropped} damaged line(s) dropped)"
             print(line)
+            events.extend(log.membership_events())
+        if events:
+            events.sort(key=lambda e: (e["time"], e["shard_id"], e["window_id"]))
+            print(f"membership history ({len(events)} chained event(s)):")
+            for ev in events:
+                print(
+                    f"  t={ev['time']:.6f} shard {ev['shard_id']}"
+                    f" {ev['kind']} (window {ev['window_id']})"
+                )
         print(f"chain OK: {total} window(s) across {len(logs)} shard(s)")
         return 0
     except ReproError as exc:

@@ -107,6 +107,42 @@ class BackwardDecoder:
         aggregate = field_matmul(coeffs.field, gamma_row, flat)
         return aggregate.reshape(equations.shape[1:])
 
+    def decode_many(self, equations: np.ndarray) -> np.ndarray:
+        """Decode ``R`` independent equation sets in one gamma GEMM.
+
+        Parameters
+        ----------
+        equations:
+            Field array ``(R, n_shares, *grad_shape)`` — one ``Eq_j`` set
+            per virtual batch (or per layer, when shapes match).  The
+            share axis of every set is contracted against the same
+            ``gamma`` row in a single ``(1, S) @ (S, R*F)`` product, so
+            the per-set decode loop disappears; each slice of the result
+            is bit-identical to :meth:`decode` of the matching set (field
+            arithmetic is exact, so batching cannot change any value).
+
+        Returns
+        -------
+        Field array ``(R, *grad_shape)`` of aggregates, one per set.
+        """
+        coeffs = self.coefficients
+        equations = np.asarray(equations, dtype=np.int64)
+        if equations.ndim < 2 or equations.shape[1] != coeffs.n_shares:
+            raise DecodingError(
+                f"expected (R, {coeffs.n_shares}, *grad_shape) equations,"
+                f" got shape {equations.shape}"
+            )
+        r = equations.shape[0]
+        if r == 0:
+            return np.zeros((0,) + equations.shape[2:], dtype=np.int64)
+        # (R, S, F) -> (S, R*F): the share axis leads, every set's
+        # payload flattens side by side under one contraction.
+        flat = equations.reshape(r, coeffs.n_shares, -1)
+        stacked = flat.transpose(1, 0, 2).reshape(coeffs.n_shares, -1)
+        gamma_row = coeffs.gamma.reshape(1, coeffs.n_shares)
+        aggregate = field_matmul(coeffs.field, gamma_row, stacked)
+        return aggregate.reshape((r,) + equations.shape[2:])
+
     def decode_with_matrices(
         self, equations: np.ndarray, b: np.ndarray, gamma: np.ndarray
     ) -> np.ndarray:
@@ -143,10 +179,11 @@ def reference_aggregate(
         raise EncodingError(
             f"gradient count {deltas.shape[0]} != input count {inputs.shape[0]}"
         )
-    total = None
-    for delta, x in zip(deltas, inputs):
-        term = op(delta, x)
-        total = term if total is None else field.add(total, term)
-    if total is None:
+    if deltas.shape[0] == 0:
         raise EncodingError("cannot aggregate an empty batch")
-    return total
+    # The bilinear op stays per-sample (its signature is pairwise), but the
+    # reduction is one stacked sum + one modular pass instead of a chained
+    # field.add per sample: each term is canonical (< p < 2**25), so even
+    # millions of terms sum exactly inside int64 before the reduction.
+    terms = np.stack([op(delta, x) for delta, x in zip(deltas, inputs)])
+    return field.element(terms.sum(axis=0, dtype=np.int64))

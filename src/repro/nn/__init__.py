@@ -5,6 +5,7 @@ from repro.nn.backends import LinearBackend, PlainBackend
 from repro.nn.layers import (
     AvgPool2D,
     BatchNorm2D,
+    BranchJoin,
     Conv2D,
     Dense,
     DepthwiseConv2D,
@@ -16,7 +17,7 @@ from repro.nn.layers import (
     ResidualBlock,
 )
 from repro.nn.loss import SoftmaxCrossEntropy
-from repro.nn.network import PlanStep, Sequential
+from repro.nn.network import PLAN_INPUT, PlanStep, Sequential
 from repro.nn.optimizer import SGD, StepDecaySchedule
 from repro.nn.serialization import load_checkpoint, save_checkpoint
 
@@ -35,7 +36,9 @@ __all__ = [
     "Flatten",
     "BatchNorm2D",
     "ResidualBlock",
+    "BranchJoin",
     "PlanStep",
+    "PLAN_INPUT",
     "Sequential",
     "SoftmaxCrossEntropy",
     "SGD",

@@ -488,3 +488,53 @@ class ResidualBlock(Layer):
     @property
     def n_params(self) -> int:
         return sum(layer.n_params for layer in self._walk())
+
+    @property
+    def join_layer(self) -> "BranchJoin":
+        """The block's DAG join step, created once so its name is stable."""
+        if getattr(self, "_join_layer", None) is None:
+            self._join_layer = BranchJoin(self)
+        return self._join_layer
+
+
+class BranchJoin(Layer):
+    """Explicit DAG join closing a :class:`ResidualBlock`'s two branches.
+
+    A flattened execution plan replaces the block's implicit
+    ``relu(body(x) + shortcut(x))`` with body steps, shortcut steps, and
+    this two-input step computing ``relu(a + b)`` — the skip connection
+    becomes an explicit edge (``PlanStep.depends_on``) a scheduler or a
+    layer partitioner can cut across.  The join writes the pre-activation
+    back onto its parent block so the block's unflattened ``backward``
+    keeps working after a training forward replayed through the plan.
+    """
+
+    def __init__(self, block: ResidualBlock, name: str | None = None) -> None:
+        super().__init__(name or f"{block.name}/join")
+        self.block = block
+
+    def join(self, body_out, skip, training: bool = False):
+        """``relu(body_out + skip)`` — the block's merge, bit-identical."""
+        if body_out.shape != skip.shape:
+            raise ConfigurationError(
+                f"{self.name}: body {body_out.shape} and shortcut"
+                f" {skip.shape} disagree"
+            )
+        pre = body_out + skip
+        if training:
+            self.block._pre_relu = pre
+        return F.relu(pre)
+
+    def forward(self, x, backend, training=True):
+        raise ConfigurationError(
+            f"{self.name}: BranchJoin takes two inputs; drive it via join()"
+            " from a DAG plan replay"
+        )
+
+    def backward(self, grad_out, backend):
+        raise ConfigurationError(
+            f"{self.name}: backward runs through the owning ResidualBlock"
+        )
+
+    def output_shape(self, input_shape):
+        return input_shape

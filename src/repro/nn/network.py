@@ -9,7 +9,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.nn.backends import LinearBackend, PlainBackend
-from repro.nn.layers import Conv2D, Dense, Layer, ResidualBlock
+from repro.nn.layers import BranchJoin, Conv2D, Dense, Layer, ResidualBlock
+
+#: Dependency index denoting the network's input batch.
+PLAN_INPUT = -1
 
 
 @dataclass(frozen=True)
@@ -20,16 +23,32 @@ class PlanStep:
     seam — exactly the steps a staged backend can split into
     encode/dispatch/decode and overlap across virtual batches.  All other
     steps are TEE-resident and run as one local enclave task.
+
+    ``depends_on`` holds the plan indices whose outputs feed this step
+    (:data:`PLAN_INPUT` denotes the network input), making the plan an
+    explicit DAG: a flattened ``ResidualBlock`` emits its body chain, its
+    shortcut chain branching from the block entry, and a two-input
+    :class:`~repro.nn.layers.BranchJoin` closing both.  ``None`` means the
+    conventional linear edge (the previous step) — resolved by
+    :attr:`deps`.
     """
 
     index: int
     layer: Layer
     offloaded: bool
+    depends_on: tuple[int, ...] | None = None
 
     @property
     def name(self) -> str:
         """The layer's identity (also its backend key)."""
         return self.layer.name
+
+    @property
+    def deps(self) -> tuple[int, ...]:
+        """Resolved dependency indices (linear edge when unspecified)."""
+        if self.depends_on is not None:
+            return self.depends_on
+        return (self.index - 1,) if self.index > 0 else (PLAN_INPUT,)
 
 
 class Sequential:
@@ -49,6 +68,7 @@ class Sequential:
             raise ConfigurationError("network needs at least one layer")
         self.layers = layers
         self.input_shape = tuple(input_shape)
+        self._plan_cache: list[PlanStep] | None = None
         shape = self.input_shape
         self._shapes = [shape]
         for layer in layers:
@@ -69,23 +89,68 @@ class Sequential:
     # execution
     # ------------------------------------------------------------------
     def execution_plan(self) -> list[PlanStep]:
-        """The layer walk as explicit, schedulable steps.
+        """The layer walk as explicit, schedulable DAG steps.
 
         Backend-driven execution iterates this plan instead of an inline
-        loop: :meth:`forward` drives every step to completion in order,
-        while :class:`repro.pipeline.PipelineExecutor` interleaves the
-        offloaded steps' stages across in-flight virtual batches.
+        loop: :meth:`forward` replays every step in index order (a valid
+        topological order — dependencies always point backwards), while
+        :class:`repro.pipeline.PipelineExecutor` interleaves the offloaded
+        steps' stages across in-flight virtual batches.
 
-        Composite layers (:class:`~repro.nn.layers.ResidualBlock`) appear
-        as single non-offloaded steps: their inner convolutions still
-        offload through the blocking backend path, so such models pipeline
-        at block granularity only (finer-grained plans are a scheduler
-        follow-on, not a numerics change).
+        Composite :class:`~repro.nn.layers.ResidualBlock` layers are
+        *flattened*: the body chain, then the shortcut chain branching
+        from the block's entry value, then a two-input
+        :class:`~repro.nn.layers.BranchJoin` computing
+        ``relu(body + shortcut)``.  Inner convolutions therefore become
+        first-class offloaded steps (they pipeline and partition below
+        block granularity), and the skip connection is an explicit
+        ``depends_on`` edge a layer partitioner can cut across.  Replaying
+        the flattened plan is bit-identical to the block's own ``forward``
+        — same ops, same order.
         """
-        return [
-            PlanStep(index=i, layer=layer, offloaded=isinstance(layer, (Conv2D, Dense)))
-            for i, layer in enumerate(self.layers)
-        ]
+        if getattr(self, "_plan_cache", None) is None:
+            steps: list[PlanStep] = []
+
+            def emit(layer: Layer, deps: tuple[int, ...]) -> int:
+                steps.append(
+                    PlanStep(
+                        index=len(steps),
+                        layer=layer,
+                        offloaded=isinstance(layer, (Conv2D, Dense)),
+                        depends_on=deps,
+                    )
+                )
+                return len(steps) - 1
+
+            prev = PLAN_INPUT
+            for layer in self.layers:
+                if isinstance(layer, ResidualBlock):
+                    entry = prev
+                    cur = entry
+                    for sub in layer.body:
+                        cur = emit(sub, (cur,))
+                    body_out = cur
+                    cur = entry
+                    for sub in layer.shortcut:
+                        cur = emit(sub, (cur,))
+                    prev = emit(layer.join_layer, (body_out, cur))
+                else:
+                    prev = emit(layer, (prev,))
+            self._plan_cache = steps
+        return list(self._plan_cache)
+
+    def plan_shapes(self) -> list[tuple[int, ...]]:
+        """Per-sample output shape of every flattened plan step.
+
+        Walks the DAG with symbolic shapes (``output_shape``), so cost
+        models and layer partitioners can price each step — including the
+        steps inside a flattened ``ResidualBlock`` — without running data.
+        """
+        plan = self.execution_plan()
+        shapes: dict[int, tuple[int, ...]] = {PLAN_INPUT: self.input_shape}
+        for step in plan:
+            shapes[step.index] = step.layer.output_shape(shapes[step.deps[0]])
+        return [shapes[step.index] for step in plan]
 
     def forward(
         self,
@@ -99,10 +164,24 @@ class Sequential:
             raise ConfigurationError(
                 f"input shape {tuple(x.shape[1:])} != expected {self.input_shape}"
             )
-        out = x
-        for step in self.execution_plan():
-            out = step.layer.forward(out, backend, training)
-        return out
+        plan = self.execution_plan()
+        last_use: dict[int, int] = {}
+        for step in plan:
+            for dep in step.deps:
+                last_use[dep] = step.index
+        values: dict[int, np.ndarray] = {PLAN_INPUT: x}
+        for step in plan:
+            if isinstance(step.layer, BranchJoin):
+                a, b = (values[d] for d in step.deps)
+                values[step.index] = step.layer.join(a, b, training)
+            else:
+                values[step.index] = step.layer.forward(
+                    values[step.deps[0]], backend, training
+                )
+            for dep in step.deps:
+                if last_use.get(dep) == step.index:
+                    values.pop(dep, None)
+        return values[plan[-1].index]
 
     def backward(self, grad_out: np.ndarray, backend: LinearBackend | None = None):
         """Back-propagate, filling every layer's ``grads``."""

@@ -35,23 +35,44 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.masking import iter_virtual_batches
 from repro.masking.virtual_batch import VirtualBatch
+from repro.nn.layers import BranchJoin
+from repro.nn.network import PLAN_INPUT
 from repro.pipeline.ranker import EarliestStartRanker, StageRanker
 from repro.pipeline.stages import GpuFuture, PipelineStats, StagedLinearOp, StageSpan
 from repro.pipeline.timing import DEFAULT_STAGE_COSTS, EnclaveTimeline, StageCostModel
 
 
+def plan_live_out(plan, end: int) -> tuple[int, ...]:
+    """Value indices a partition cut at ``end`` must hand to the consumer.
+
+    These are the producers (``PLAN_INPUT`` or step indices ``< end``)
+    that some step ``>= end`` still depends on — for a linear plan just
+    the last step of the range, but a cut through a flattened residual
+    block also carries the pending skip branch.
+    """
+    live = {
+        dep
+        for step in plan[end:]
+        for dep in step.deps
+        if dep < end
+    }
+    return tuple(sorted(live))
+
+
 @dataclass
 class _Job:
-    """One virtual batch in flight through the layer plan."""
+    """One virtual batch in flight through the (sub-)plan DAG."""
 
     index: int
     indices: tuple[int, ...]  #: Row positions inside the parent batch.
     n_real: int
-    activation: np.ndarray  #: Real rows only, current layer input.
+    activation: np.ndarray  #: Real rows only, current step's input.
+    values: dict  #: Produced step outputs still needed (``PLAN_INPUT`` = input).
     step_idx: int = 0  #: Next execution-plan step to run.
     ready_at: float = 0.0  #: When the activation became available.
     future: GpuFuture | None = None  #: Set while shares are on the GPUs.
     deadline: float = math.inf  #: Tightest SLO deadline in the job's group.
+    transfer_bytes: int = 0  #: Pending sealed-envelope bytes to unseal first.
 
     def padded(self, k: int) -> VirtualBatch:
         """Re-pad the activation to a full ``K``-slot virtual batch."""
@@ -64,9 +85,15 @@ class _Job:
 
 @dataclass
 class GroupResult:
-    """One input group's (e.g. one scheduled batch's) pipelined outcome."""
+    """One input group's (e.g. one scheduled batch's) pipelined outcome.
 
-    output: np.ndarray
+    ``output`` is the final activation batch for a full-plan run; a
+    sub-range run (``step_range`` ending before the last step) instead
+    yields the *live value set* at the cut — ``{producer step: batch}`` —
+    which the next partition shard consumes.
+    """
+
+    output: np.ndarray | dict
     start: float  #: When the group's first stage began.
     finish: float  #: When the group's last stage completed.
 
@@ -137,10 +164,12 @@ class PipelineExecutor:
     # ------------------------------------------------------------------
     # plan preparation
     # ------------------------------------------------------------------
-    def _stage_ops(self) -> dict[int, StagedLinearOp]:
-        """Prepare every offloaded layer once (weights broadcast per batch)."""
+    def _stage_ops(self, start: int = 0, end: int | None = None) -> dict[int, StagedLinearOp]:
+        """Prepare every offloaded layer in the range once (weights
+        broadcast per batch)."""
+        plan = self.network.execution_plan()
         ops: dict[int, StagedLinearOp] = {}
-        for step in self.network.execution_plan():
+        for step in plan[start : end if end is not None else len(plan)]:
             if not step.offloaded:
                 continue
             layer = step.layer
@@ -173,36 +202,65 @@ class PipelineExecutor:
         return PipelineResult(output=groups[0].output, stats=stats)
 
     def run_grouped(
-        self, items: list[tuple]
+        self, items: list[tuple], step_range: tuple[int, int] | None = None
     ) -> tuple[list[GroupResult], PipelineStats]:
         """Pipeline several input groups through one event loop.
 
-        Each item is ``(batch, release_time)`` or ``(batch, release_time,
-        deadline)``; a group's rows split into virtual batches (jobs)
-        released at the group's time and carrying the group's SLO
+        Each item is ``(batch, release_time)``, ``(batch, release_time,
+        deadline)``, or ``(batch, release_time, deadline,
+        transfer_bytes)``; a group's rows split into virtual batches
+        (jobs) released at the group's time and carrying the group's SLO
         deadline (``inf`` when omitted — only the deadline-aware ranker
         reads it).  All jobs — across groups — share the in-flight
         window, so the enclave encodes group ``n+1``'s first layer while
         group ``n``'s shares are still on the GPUs: this is the serving
         pool's cross-batch overlap.  Returns per-group outputs with their
         own start/finish times, plus the window-wide stats.
+
+        ``step_range`` restricts execution to the plan slice ``[start,
+        end)`` — one partition shard's stage range.  A mid-plan entry's
+        ``batch`` is then the producer's live value dict (``{step index:
+        rows}``); a positive ``transfer_bytes`` prices the sealed
+        activation hand-off as a *transfer op* on this shard's enclave
+        timeline before the first compute stage — it competes for the
+        enclave through the same :class:`~repro.pipeline.ranker
+        .StageRanker` as every other stage.
         """
         k = self.backend.config.virtual_batch_size
         plan = self.network.execution_plan()
-        ops = self._stage_ops()
+        start_idx, end_idx = step_range if step_range is not None else (0, len(plan))
+        if not (0 <= start_idx < end_idx <= len(plan)):
+            raise ConfigurationError(
+                f"step range [{start_idx}, {end_idx}) outside plan of {len(plan)} steps"
+            )
+        ops = self._stage_ops(start_idx, end_idx)
+        # Producers each step still needs, and when a value dies.
+        last_use: dict[int, int] = {}
+        for step in plan:
+            for dep in step.deps:
+                last_use[dep] = step.index
+        live_out = plan_live_out(plan, end_idx) if end_idx < len(plan) else ()
+
         jobs: list[_Job] = []
         group_of: dict[int, int] = {}
         for g, item in enumerate(items):
             x, release_time = item[0], item[1]
             deadline = item[2] if len(item) > 2 else math.inf
-            for vb in iter_virtual_batches(x, k):
+            transfer_bytes = int(item[3]) if len(item) > 3 else 0
+            for values in self._iter_payload(x, k):
+                rows = next(iter(values.values()))
                 job = _Job(
                     index=len(jobs),
-                    indices=vb.indices,
-                    n_real=vb.n_real,
-                    activation=vb.data[: vb.n_real],
+                    indices=rows.indices,
+                    n_real=rows.n_real,
+                    activation=rows.data[: rows.n_real],
+                    values={
+                        key: vb.data[: vb.n_real] for key, vb in values.items()
+                    },
+                    step_idx=start_idx,
                     ready_at=release_time,
                     deadline=deadline,
+                    transfer_bytes=transfer_bytes,
                 )
                 group_of[job.index] = g
                 jobs.append(job)
@@ -211,7 +269,7 @@ class PipelineExecutor:
         gpu_busy_before = self.backend.cluster.max_busy_time()
         spans: list[StageSpan] = []
         stage_totals: dict[str, float] = {}
-        outputs: dict[int, np.ndarray] = {}
+        outputs: dict[int, np.ndarray | dict] = {}
 
         waiting = list(jobs)
         active: list[_Job] = []
@@ -219,14 +277,24 @@ class PipelineExecutor:
             while waiting and len(active) < self.pipeline_depth:
                 active.append(waiting.pop(0))
             job = min(active, key=self._task_rank)
-            if job.future is not None:
-                self._run_decode(job, spans, stage_totals)
+            if job.transfer_bytes:
+                self._run_transfer(job, spans, stage_totals)
+            elif job.future is not None:
+                self._run_decode(job, last_use, spans, stage_totals)
             elif plan[job.step_idx].offloaded:
+                job.activation = job.values[plan[job.step_idx].deps[0]]
                 self._run_encode(job, k, ops[job.step_idx], spans, stage_totals)
             else:
-                self._run_tee(job, plan[job.step_idx], spans, stage_totals)
-            if job.future is None and job.step_idx == len(plan):
-                outputs[job.index] = job.activation
+                self._run_tee(job, plan[job.step_idx], last_use, spans, stage_totals)
+            if (
+                job.future is None
+                and not job.transfer_bytes
+                and job.step_idx == end_idx
+            ):
+                if end_idx == len(plan):
+                    outputs[job.index] = job.values[plan[-1].index]
+                else:
+                    outputs[job.index] = {i: job.values[i] for i in live_out}
                 active.remove(job)
 
         first_release = min((item[1] for item in items), default=0.0)
@@ -244,14 +312,37 @@ class PipelineExecutor:
             release_time = item[1]
             members = [j for j in range(len(jobs)) if group_of[j] == g]
             group_spans = [s for s in spans if group_of[s.job] == g]
+            if end_idx == len(plan):
+                output = np.concatenate([outputs[j] for j in members], axis=0)
+            else:
+                output = {
+                    i: np.concatenate([outputs[j][i] for j in members], axis=0)
+                    for i in live_out
+                }
             groups.append(
                 GroupResult(
-                    output=np.concatenate([outputs[j] for j in members], axis=0),
+                    output=output,
                     start=min((s.start for s in group_spans), default=release_time),
                     finish=max((s.end for s in group_spans), default=release_time),
                 )
             )
         return groups, stats
+
+    def _iter_payload(self, x, k: int):
+        """Split one group's payload into per-job value dicts.
+
+        A plain array is the network input (keyed :data:`PLAN_INPUT`); a
+        dict is a mid-plan live value set — every entry shares the same
+        leading batch dimension, so all split into identical row ranges.
+        """
+        if isinstance(x, dict):
+            keys = sorted(x)
+            splits = [list(iter_virtual_batches(x[key], k)) for key in keys]
+            for parts in zip(*splits):
+                yield dict(zip(keys, parts))
+        else:
+            for vb in iter_virtual_batches(x, k):
+                yield {PLAN_INPUT: vb}
 
     # ------------------------------------------------------------------
     # task selection and execution
@@ -304,9 +395,47 @@ class PipelineExecutor:
         self._account(spans, totals, job.index, op.key, "gpu", "gpu", gpu_start, ready_at)
         job.future = future
 
+    def _finish_step(
+        self, job: _Job, step, value: np.ndarray, last_use: dict[int, int]
+    ) -> None:
+        """Record a step's output and drop values nothing later needs.
+
+        ``last_use`` spans the *full* plan, so a value some step beyond
+        this executor's range still depends on (a partition cut's live
+        set) is never freed here.
+        """
+        job.values[step.index] = value
+        for dep in step.deps:
+            if last_use.get(dep) == step.index:
+                job.values.pop(dep, None)
+        job.step_idx = step.index + 1
+
+    def _run_transfer(
+        self,
+        job: _Job,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+    ) -> None:
+        """Price a sealed cross-shard activation hand-off on this enclave.
+
+        The producer shard already sealed the live values (the host only
+        ever relays ciphertext); what lands here is the consumer-side
+        receive + MAC-verify + unseal, an enclave-serialized stage like
+        any other.
+        """
+        start, end = self.timeline.reserve(
+            job.ready_at, self.costs.transfer_time(job.transfer_bytes)
+        )
+        self._account(
+            spans, totals, job.index, "handoff", "transfer", "enclave", start, end
+        )
+        job.transfer_bytes = 0
+        job.ready_at = end
+
     def _run_decode(
         self,
         job: _Job,
+        last_use: dict[int, int],
         spans: list[StageSpan],
         totals: dict[str, float],
     ) -> None:
@@ -320,30 +449,37 @@ class PipelineExecutor:
             future.ready_at, self.costs.decode_time(future.output_bytes)
         )
         self._account(spans, totals, job.index, op.key, "decode", "enclave", start, end)
-        job.activation = op.apply_bias(y)
+        step = self.network.execution_plan()[job.step_idx]
         job.future = None
-        job.step_idx += 1
+        self._finish_step(job, step, op.apply_bias(y), last_use)
         job.ready_at = end
 
     def _run_tee(
         self,
         job: _Job,
         step,
+        last_use: dict[int, int],
         spans: list[StageSpan],
         totals: dict[str, float],
     ) -> None:
-        """Run one TEE-resident layer on the real rows.
+        """Run one TEE-resident step on the real rows.
 
-        Composite layers (e.g. ``ResidualBlock``) may offload their inner
-        convolutions through the *blocking* backend path while executing
-        here.  That work is detected via the cluster's MAC counter and
-        priced honestly: the devices are reserved for the kernels and the
-        enclave stays blocked for their whole duration (no overlap — which
-        is exactly why such layers pipeline at block granularity only).
+        A two-input :class:`~repro.nn.layers.BranchJoin` merges its DAG
+        dependencies here.  Composite layers may still offload inner
+        convolutions through the *blocking* backend path while executing;
+        that work is detected via the cluster's MAC counter and priced
+        honestly (devices reserved, enclave blocked for the duration).
         """
-        nbytes = int(np.asarray(job.activation).nbytes)
-        macs_before = self.backend.cluster.total_mac_ops()
-        job.activation = step.layer.forward(job.activation, self.backend, training=False)
+        if isinstance(step.layer, BranchJoin):
+            a, b = (job.values[d] for d in step.deps)
+            nbytes = int(a.nbytes) + int(b.nbytes)
+            macs_before = self.backend.cluster.total_mac_ops()
+            out = step.layer.join(a, b, training=False)
+        else:
+            x = job.values[step.deps[0]]
+            nbytes = int(np.asarray(x).nbytes)
+            macs_before = self.backend.cluster.total_mac_ops()
+            out = step.layer.forward(x, self.backend, training=False)
         macs = self.backend.cluster.total_mac_ops() - macs_before
         duration = self.costs.local_time(nbytes)
         if macs > 0:
@@ -355,5 +491,5 @@ class PipelineExecutor:
             duration += gpu_duration
         start, end = self.timeline.reserve(job.ready_at, duration)
         self._account(spans, totals, job.index, step.name, "tee", "enclave", start, end)
-        job.step_idx += 1
+        self._finish_step(job, step, out, last_use)
         job.ready_at = end

@@ -44,6 +44,11 @@ class StageCostModel:
     stage_overhead:
         Fixed seconds per enclave stage invocation (ecall/ocall boundary
         crossing plus dispatch bookkeeping).
+    transfer_bandwidth:
+        Bytes/second for a sealed activation hand-off between enclave
+        shards in a layer-partitioned pipeline (the consumer enclave
+        receives, MAC-verifies, and unseals inside the TEE, so the cost
+        lands on *its* timeline).
     """
 
     encode_bandwidth: float = 2e9
@@ -52,6 +57,7 @@ class StageCostModel:
     gpu_mac_throughput: float = 1e9
     gpu_launch_overhead: float = 2e-5
     stage_overhead: float = 2e-4
+    transfer_bandwidth: float = 2e9
 
     def __post_init__(self) -> None:
         for name in (
@@ -59,6 +65,7 @@ class StageCostModel:
             "decode_bandwidth",
             "tee_bandwidth",
             "gpu_mac_throughput",
+            "transfer_bandwidth",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be > 0, got {getattr(self, name)}")
@@ -83,6 +90,11 @@ class StageCostModel:
     def gpu_time(self, macs_per_share: int) -> float:
         """Device seconds for one share's bilinear kernel."""
         return self.gpu_launch_overhead + macs_per_share / self.gpu_mac_throughput
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Consumer-enclave seconds to receive + unseal a cross-shard
+        activation envelope."""
+        return self.stage_overhead + nbytes / self.transfer_bandwidth
 
 
 #: Shared default so every entry point prices stages identically.

@@ -360,6 +360,7 @@ class DarKnightBackend:
         # Pipelined forwards may register records out of virtual-batch order;
         # sum in vb order so gradients are bit-identical to the sync path.
         records = sorted(records, key=lambda r: r.vb_index)
+        staged: list[tuple] = []  # (record, d_q, d_norm, field equations)
         for record in records:
             rows = delta[list(record.indices)]
             if rows.shape[0] < cfg.virtual_batch_size:
@@ -386,7 +387,27 @@ class DarKnightBackend:
                 ),
             )
             self._gather(equations)
-            aggregate = BackwardDecoder(coeffs).decode(equations)
+            staged.append((record, d_q, d_norm, np.asarray(equations, np.int64)))
+        # All virtual batches share one coefficient set unless
+        # fresh_coefficients re-draws per encode; in the shared case every
+        # per-record gamma decode collapses into one batched GEMM
+        # (bit-identical: field arithmetic is exact, order-free).
+        coeffs0 = records[0].coefficients
+        if len(staged) > 1 and all(
+            r.coefficients is coeffs0 for r in records
+        ) and len({eq.shape for _, _, _, eq in staged}) == 1:
+            aggregates = list(
+                BackwardDecoder(coeffs0).decode_many(
+                    np.stack([eq for _, _, _, eq in staged])
+                )
+            )
+        else:
+            aggregates = [
+                BackwardDecoder(record.coefficients).decode(eq)
+                for record, _, _, eq in staged
+            ]
+        for (record, d_q, d_norm, _), aggregate in zip(staged, aggregates):
+            coeffs = record.coefficients
             self.enclave.record_compute("decode_backward", int(aggregate.nbytes))
             if cfg.integrity:
                 self._verify_backward(coeffs, d_q, aggregate, gpu_op, record)

@@ -120,7 +120,7 @@ class PrivateInferenceEngine:
             self.backend.assert_encodings_released()
 
     def run_batch_window(
-        self, items: list[tuple]
+        self, items: list[tuple], step_range: tuple[int, int] | None = None
     ) -> tuple[list[GroupResult], PipelineStats]:
         """Pipeline a *window* of batches through one executor event loop.
 
@@ -132,9 +132,15 @@ class PrivateInferenceEngine:
         the GPUs.  Returns one :class:`~repro.pipeline.executor.GroupResult`
         per input batch (its logits plus its own start/finish on the
         simulated clock) and the window-wide stats.
+
+        ``step_range`` runs only that slice of the execution plan — one
+        layer-partition shard's stage range; mid-plan items are live value
+        dicts and may carry a fourth ``transfer_bytes`` element pricing
+        the sealed hand-off (see
+        :meth:`~repro.pipeline.PipelineExecutor.run_grouped`).
         """
         try:
-            return self.executor.run_grouped(items)
+            return self.executor.run_grouped(items, step_range=step_range)
         finally:
             self.backend.end_batch()
             self.backend.assert_encodings_released()

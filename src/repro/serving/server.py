@@ -78,7 +78,14 @@ from repro.serving.session import ShardedSessionManager
 from repro.serving.slo import SloClass, SloPolicy
 from repro.serving.trace import TraceRequest
 from repro.serving.worker import InferenceWorkerPool
-from repro.sharding import AttestationMesh, EnclaveShard, ShardRouter
+from repro.sharding import (
+    AttestationMesh,
+    EnclaveShard,
+    LayerPartitionPlanner,
+    PartitionSpec,
+    PipelineGroup,
+    ShardRouter,
+)
 
 #: Sentinel meaning "run until every queued request has drained".
 _DRAIN = float("inf")
@@ -159,6 +166,18 @@ class ServingConfig:
         ``min_shards`` and ``max_shards``.  ``darknight.num_shards``
         becomes the *initial* count (clamped into the bounds).  ``None``
         — the default — keeps the static deployment.
+    partition:
+        How the model maps onto the deployment's shards.
+        ``"replicated"`` (the default) gives every shard the full model;
+        ``"layered:N"`` cuts the execution plan into ``N`` balanced
+        stage ranges and chains every ``N`` consecutive shards into one
+        :class:`~repro.sharding.partition.PipelineGroup`
+        (``num_shards`` must be a multiple of ``N``), with activations
+        handed between members as sealed, mesh-verified envelopes.
+        Logits are bit-identical in every mode — per-sample
+        normalization and exact masking make them independent of cut
+        placement.  Layered partitioning composes with everything except
+        ``autoscale`` (elastic membership is replicated-only).
     """
 
     darknight: DarKnightConfig = field(default_factory=DarKnightConfig)
@@ -175,6 +194,7 @@ class ServingConfig:
     shard_weights: tuple[float, ...] | None = None
     audit: AuditConfig | None = None
     autoscale: AutoscaleConfig | None = None
+    partition: str = "replicated"
 
     # ------------------------------------------------------------------
     # the unified config surface: dict round-trip + named presets
@@ -229,6 +249,7 @@ class ServingConfig:
             ),
             "audit": _opt_asdict(self.audit),
             "autoscale": _opt_asdict(self.autoscale),
+            "partition": self.partition,
         }
 
     @classmethod
@@ -343,6 +364,11 @@ class ServingReport:
     migrations: int = 0
     #: Failover retries skipped because the class budget was exhausted.
     retries_skipped_budget: int = 0
+    #: Failover retries shed because the remaining budget could not cover
+    #: the measured per-batch service-time floor.
+    retries_skipped_floor: int = 0
+    #: How the model mapped onto the shards (``replicated``/``layered:N``).
+    partition: str = "replicated"
     #: Per-shard learned-policy telemetry (None entries = static shards).
     adaptive: list | None = None
     #: Per-shard audit chain heads (``None`` when auditing is disabled).
@@ -365,11 +391,17 @@ class ServingReport:
         )
         lines.append(
             f"shards: {self.shards} enclave shard(s),"
+            f" partition {self.partition},"
             f" {self.failovers} failovers,"
             f" {self.migrations} session migrations"
             + (
                 f", {self.retries_skipped_budget} retries skipped (budget)"
                 if self.retries_skipped_budget
+                else ""
+            )
+            + (
+                f", {self.retries_skipped_floor} retries shed (service floor)"
+                if self.retries_skipped_floor
                 else ""
             )
         )
@@ -447,6 +479,28 @@ class PrivateInferenceServer:
         # Every configuration error must fire *before* the provisioning
         # loop below: a failed construction may never leak attested
         # enclaves (or their GPU clusters) it cannot hand back.
+        partition = PartitionSpec.parse(self.config.partition)
+        if partition.layered:
+            if autoscale is not None:
+                raise ConfigurationError(
+                    "layered partitioning does not compose with autoscale;"
+                    " elastic shard membership is replicated-only"
+                )
+            if dk.num_shards % partition.n_stages != 0:
+                raise ConfigurationError(
+                    f"partition layered:{partition.n_stages} needs num_shards"
+                    f" divisible by {partition.n_stages},"
+                    f" got {dk.num_shards}"
+                )
+        #: Routing units: pipeline groups under layered partitioning,
+        #: individual shards otherwise.
+        n_units = dk.num_shards // partition.n_stages
+        stage_ranges = None
+        if partition.layered:
+            # Planning needs only the network, so an impossible cut count
+            # (more stages than plan steps) fails before provisioning.
+            planner = LayerPartitionPlanner(network, self.config.stage_costs)
+            stage_ranges = planner.plan(partition.n_stages)
         elastic_max = autoscale.max_shards if autoscale is not None else dk.num_shards
         if max(dk.num_shards, elastic_max) > 1 and (
             cluster is not None or enclave is not None
@@ -459,12 +513,12 @@ class PrivateInferenceServer:
             )
         if (
             self.config.shard_weights is not None
-            and len(self.config.shard_weights) != dk.num_shards
+            and len(self.config.shard_weights) != n_units
         ):
             raise ConfigurationError(
-                f"need one shard weight per shard:"
+                f"need one shard weight per routing unit:"
                 f" {len(self.config.shard_weights)} weights for"
-                f" {dk.num_shards} shards"
+                f" {n_units} units"
             )
         if self.config.adaptive is not None:
             # Size K against the EPC budget *before* provisioning: the
@@ -511,33 +565,69 @@ class PrivateInferenceServer:
         self.mesh = AttestationMesh(
             self.shards, expected_code_identity=self.config.code_identity
         ).establish()
+        #: The parsed partition mode and its plan cuts (layered only).
+        self.partition = partition
+        self.stage_ranges = stage_ranges
+        if partition.layered:
+            n = partition.n_stages
+            # Hop channels key against the *shard-level* mesh: every
+            # consecutive member pair was pairwise-attested above.
+            self.groups: list[PipelineGroup] | None = [
+                PipelineGroup(
+                    g,
+                    self.shards[g * n : (g + 1) * n],
+                    stage_ranges,
+                    self.mesh,
+                    link=self.link,
+                    seed=dk.seed if dk.seed is not None else 0,
+                )
+                for g in range(n_units)
+            ]
+            self.units: list = list(self.groups)
+            # Sessions route on *units*, so they need a unit-level mesh:
+            # each group's entry enclave re-attests under its group id.
+            self.unit_mesh = AttestationMesh(
+                self.units, expected_code_identity=self.config.code_identity
+            ).establish()
+        else:
+            self.groups = None
+            self.units = list(self.shards)
+            self.unit_mesh = self.mesh
         self.router = ShardRouter(
-            dk.num_shards,
+            n_units,
             weights=(
                 list(self.config.shard_weights)
                 if self.config.shard_weights is not None
                 else None
             ),
             slo=self.config.slo,
+            group_members=(
+                {
+                    group.shard_id: tuple(m.shard_id for m in group.members)
+                    for group in self.groups
+                }
+                if self.groups is not None
+                else None
+            ),
         )
         self.sessions = ShardedSessionManager(
-            self.shards,
+            self.units,
             router=self.router,
-            mesh=self.mesh,
+            mesh=self.unit_mesh,
             link=self.link,
             expected_code_identity=self.config.code_identity,
             seed=dk.seed,
         )
         self.queues = [
             RequestQueue(self.config.queue_capacity, slo=self.config.slo)
-            for _ in self.shards
+            for _ in self.units
         ]
         self.queue = self.queues[0]
         batch_size = dk.virtual_batch_size if self.config.coalesce else 1
         policies = None
         if self.config.adaptive is not None:
             policies = build_policies(
-                dk.num_shards,
+                n_units,
                 batch_size,
                 self.config.max_batch_wait,
                 self.config.adaptive,
@@ -567,7 +657,7 @@ class PrivateInferenceServer:
             )
         self.pool = InferenceWorkerPool(
             n_workers=self.config.n_workers,
-            shards=self.shards,
+            shards=self.units,
             router=self.router,
             sessions=self.sessions,
             on_feedback=(
@@ -647,6 +737,12 @@ class PrivateInferenceServer:
         per-sample normalization makes every response independent of
         which shard (and which co-batch) served it.
         """
+        if self.partition.layered:
+            raise ConfigurationError(
+                "dynamic shard membership requires partition='replicated';"
+                " a layered deployment's stage pipelines are fixed at"
+                " construction"
+            )
         shard_id = len(self.shards)
         shard = EnclaveShard.provision(
             shard_id,
@@ -686,6 +782,14 @@ class PrivateInferenceServer:
         self.pool.join(shard)
         if self.audit is not None:
             self.audit.add_shard(shard_id)
+            # The join is chain-visible: the new shard's service life
+            # opens with a first-class membership entry on its own log.
+            self.audit.record_membership(
+                "provision",
+                shard_id,
+                now,
+                details={"num_shards": len(self.shards)},
+            )
         self.autoscaler.note_provisioned(shard_id, now)
         self.metrics.record_scale(ACTION_SCALE_OUT)
         self._apply_epc_pool()
@@ -722,9 +826,19 @@ class PrivateInferenceServer:
             if not matches:
                 raise ShardError(f"shard {shard_id} is not live; cannot drain")
             victim = matches[0]
+        if self.partition.layered:
+            raise ConfigurationError(
+                "dynamic shard membership requires partition='replicated';"
+                " a layered deployment's stage pipelines are fixed at"
+                " construction"
+            )
         vid = victim.shard_id
         self.router.begin_drain(vid)
         victim.begin_drain()
+        if self.audit is not None:
+            # Chain the wind-down *before* the final flush: every window
+            # after this entry is the drain itself.
+            self.audit.record_membership("drain", vid, now)
         # Flush the victim's pending windows through its own pipeline
         # (these commit to its audit chain like any other window).
         self._run_batches(self.scheduler.shards[vid].drain(now))
@@ -744,6 +858,15 @@ class PrivateInferenceServer:
         self.mesh.retire(vid)
         self.scheduler.retire_shard(vid)
         victim.decommission(now)
+        if self.audit is not None:
+            # The chain's final word on the shard: retired, with its
+            # lifetime dispatch count frozen into the event leaf.
+            self.audit.record_membership(
+                "retire",
+                vid,
+                now,
+                details={"batches_run": int(victim.batches_run)},
+            )
         self.autoscaler.note_retired(vid, now)
         self.metrics.record_scale(ACTION_SCALE_IN)
         self._apply_epc_pool()
@@ -977,6 +1100,8 @@ class PrivateInferenceServer:
             failovers=self.pool.failovers,
             migrations=self.sessions.migrations,
             retries_skipped_budget=self.pool.retries_skipped_budget,
+            retries_skipped_floor=self.pool.retries_skipped_floor,
+            partition=str(self.partition),
             adaptive=self.scheduler.policy_snapshots(),
             audit_roots=self.audit.chain_roots() if self.audit is not None else None,
             autoscale=(

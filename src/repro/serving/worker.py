@@ -128,6 +128,14 @@ class InferenceWorkerPool:
         #: Failover retries skipped because the class SLO budget was
         #: already exhausted at the failure frontier.
         self.retries_skipped_budget = 0
+        #: Failover retries shed because the remaining budget at the
+        #: failure frontier could not cover the measured service-time
+        #: floor — the retry was *guaranteed* to finish late even though
+        #: the deadline had not yet passed.
+        self.retries_skipped_floor = 0
+        #: Minimum observed per-batch service span (dispatch to finish)
+        #: across successful windows; the shed decision's lower bound.
+        self._service_floor = math.inf
         self._failed_shards: set[int] = set()
         self._retired_shards: dict[int, EnclaveShard] = {}
         self._stage_totals: dict[str, float] = {}
@@ -196,17 +204,44 @@ class InferenceWorkerPool:
         aborted: bool = False,
         error: str | None = None,
     ) -> None:
-        """Commit one window to the audit trail (no-op when audit is off)."""
+        """Commit one window to the audit trail (no-op when audit is off).
+
+        A layer-partitioned unit (a :class:`~repro.sharding.partition.
+        PipelineGroup`) fans the commit out: every member shard's chained
+        log records its *own* sub-window — the exit member the response
+        logits, interior members the flattened live activations their
+        stage produced — so each physical enclave's chain stays a
+        complete, independently verifiable account of what it computed.
+        """
         if self.audit is None or not batches:
             return
-        self.audit.commit_window(
-            shard_id,
-            batches,
-            outputs_by_batch,
-            status=status,
-            aborted=aborted,
-            error=error,
-        )
+        unit = self.shards.get(shard_id) or self._retired_shards.get(shard_id)
+        members = getattr(unit, "members", None)
+        if members is None:
+            self.audit.commit_window(
+                shard_id,
+                batches,
+                outputs_by_batch,
+                status=status,
+                aborted=aborted,
+                error=error,
+            )
+            return
+        has_outputs = any(out is not None for out in outputs_by_batch)
+        for member in members:
+            outs = (
+                unit.sub_outputs(member.shard_id, len(batches), outputs_by_batch)
+                if has_outputs
+                else outputs_by_batch
+            )
+            self.audit.commit_window(
+                member.shard_id,
+                batches,
+                outs,
+                status=status,
+                aborted=aborted,
+                error=error,
+            )
 
     def _batch_deadline(self, batch: ScheduledBatch) -> float:
         """The tightest end-to-end deadline among the batch's requests."""
@@ -274,6 +309,7 @@ class InferenceWorkerPool:
             return self._outcomes(batches[0], None, status, str(exc), fallback)
         self._account(stats)
         self.batches_run += len(batches)
+        self._observe_service_spans(groups)
         self._commit(
             shard_id, batches, [group.output for group in groups], status=STATUS_OK
         )
@@ -317,6 +353,7 @@ class InferenceWorkerPool:
         for batch, (groups, stats) in zip(batches, exc.completed):
             self._account(stats)
             self.batches_run += 1
+            self._observe_service_spans(groups)
             completed_outputs.append(groups[0].output)
             outcomes.extend(self._outcomes(batch, groups[0], STATUS_OK, None, 0.0))
         self._commit(
@@ -351,13 +388,14 @@ class InferenceWorkerPool:
                     self._outcomes(batch, None, STATUS_SHARD_FAILED, str(outage), fallback)
                 )
                 continue
-            batch, expired = self._prune_exhausted(batch, fallback)
+            batch, expired, floor_shed = self._prune_exhausted(batch, fallback)
             if expired is not None:
                 expired_error = (
                     f"batch {expired.batch_id}: class SLO budget exhausted at"
                     " the failure frontier; retry skipped"
                 )
-                self.retries_skipped_budget += len(expired.requests)
+                self.retries_skipped_budget += len(expired.requests) - floor_shed
+                self.retries_skipped_floor += floor_shed
                 terminal.append((expired, expired_error))
                 outcomes.extend(
                     self._outcomes(
@@ -423,31 +461,44 @@ class InferenceWorkerPool:
 
     def _prune_exhausted(
         self, batch: ScheduledBatch, fallback: float
-    ) -> tuple[ScheduledBatch | None, ScheduledBatch | None]:
+    ) -> tuple[ScheduledBatch | None, ScheduledBatch | None, int]:
         """Split a failed batch into (retryable, budget-exhausted) halves.
 
         A request whose class deadline (``arrival + budget``) has already
         passed at the failure frontier cannot complete in budget no matter
         which survivor serves it — retrying would spend a healthy shard's
-        serialized enclave on a guaranteed SLO miss.  Either half may be
-        ``None``; without an SLO policy the batch is returned untouched
-        (infinite budgets never expire).
+        serialized enclave on a guaranteed SLO miss.  The deadline check
+        is additionally *floor-aware*: once the pool has measured a
+        minimum per-batch service span, a request whose remaining budget
+        at the frontier is smaller than that floor is shed too — its
+        deadline has not passed yet, but no survivor can physically
+        finish it in time (counted separately in
+        :attr:`retries_skipped_floor`).  Either half may be ``None``;
+        without an SLO policy the batch is returned untouched (infinite
+        budgets never expire).  The third element counts the requests
+        shed by the floor rather than the bare deadline.
         """
         if self.slo is None:
-            return batch, None
-        expired = [
-            req
-            for req in batch.requests
-            if req.arrival_time + self.slo.budget_for(req.tenant) <= fallback
-        ]
+            return batch, None, 0
+        floor = self._service_floor if math.isfinite(self._service_floor) else 0.0
+        hard_expired = 0
+        expired = []
+        for req in batch.requests:
+            deadline = req.arrival_time + self.slo.budget_for(req.tenant)
+            if deadline <= fallback:
+                expired.append(req)
+                hard_expired += 1
+            elif deadline <= fallback + floor:
+                expired.append(req)
         if not expired:
-            return batch, None
+            return batch, None, 0
+        floor_shed = len(expired) - hard_expired
         expired_ids = {id(req) for req in expired}
         alive = [req for req in batch.requests if id(req) not in expired_ids]
         expired_batch = dataclasses.replace(batch, requests=expired)
         if not alive:
-            return None, expired_batch
-        return dataclasses.replace(batch, requests=alive), expired_batch
+            return None, expired_batch, floor_shed
+        return dataclasses.replace(batch, requests=alive), expired_batch, floor_shed
 
     def _reroute(
         self, batch: ScheduledBatch, failed_shard: int, not_before: float
@@ -498,6 +549,19 @@ class InferenceWorkerPool:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def _observe_service_spans(self, groups) -> None:
+        """Tighten the measured per-batch service-time floor."""
+        for group in groups:
+            span = group.finish - group.start
+            if span > 0:
+                self._service_floor = min(self._service_floor, span)
+
+    @property
+    def service_floor(self) -> float:
+        """Minimum observed per-batch service span (``inf`` before any
+        successful window)."""
+        return self._service_floor
+
     def _account(self, stats) -> None:
         for stage, seconds in stats.stage_totals.items():
             self._stage_totals[stage] = self._stage_totals.get(stage, 0.0) + seconds

@@ -14,7 +14,25 @@ routing is bit-identical to any other.
 """
 
 from repro.sharding.mesh import AttestationMesh
+from repro.sharding.partition import (
+    LayerPartitionPlanner,
+    PartitionSpec,
+    PipelineGroup,
+    SealedActivations,
+    open_activations,
+    seal_activations,
+)
 from repro.sharding.router import ShardRouter
 from repro.sharding.shard import EnclaveShard
 
-__all__ = ["AttestationMesh", "EnclaveShard", "ShardRouter"]
+__all__ = [
+    "AttestationMesh",
+    "EnclaveShard",
+    "LayerPartitionPlanner",
+    "PartitionSpec",
+    "PipelineGroup",
+    "SealedActivations",
+    "ShardRouter",
+    "open_activations",
+    "seal_activations",
+]

@@ -168,12 +168,14 @@ class EnclaveShard:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def run_window(self, items: list[tuple]):
+    def run_window(self, items: list[tuple], step_range: tuple[int, int] | None = None):
         """Run one flush window on this shard's timeline.
 
         ``items`` entries are ``(batch, release_time)`` or ``(batch,
         release_time, deadline)``; returns ``(groups, stats)`` exactly like
         :meth:`~repro.runtime.inference.PrivateInferenceEngine.run_batch_window`.
+        ``step_range`` restricts the run to one layer-partition stage range
+        (this shard's slice of the plan).
 
         Raises
         ------
@@ -191,7 +193,9 @@ class EnclaveShard:
         if budget is not None and budget < len(items):
             completed = []
             for item in items[:budget]:
-                groups, stats = self.engine.run_batch_window([item])
+                groups, stats = self.engine.run_batch_window(
+                    [item], step_range=step_range
+                )
                 self.batches_run += 1
                 self.busy_time += stats.enclave_busy
                 completed.append((groups, stats))
@@ -203,7 +207,7 @@ class EnclaveShard:
                 completed=completed,
                 remaining_from=budget,
             )
-        groups, stats = self.engine.run_batch_window(items)
+        groups, stats = self.engine.run_batch_window(items, step_range=step_range)
         self.batches_run += len(items)
         self.busy_time += stats.enclave_busy
         return groups, stats

@@ -1,0 +1,154 @@
+"""Membership-change events as first-class chained audit entries.
+
+A shard's service life — ``provision`` (join), ``drain`` (wind-down),
+``retire`` (leave) — is committed to its *own* chain with a
+``membership:<kind>`` status window, so auditors walking the chain see
+exactly when the shard served and an operator cannot splice a shard's
+life out of the record.  These tests cover the trail surface
+(``record_membership`` / ``membership_events``), the guards (unknown
+kinds and shards, replay of computation-free windows), the server's
+elastic paths firing the events, and the ``check-chain`` CLI printing
+the merged membership history.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    MEMBERSHIP_KINDS,
+    AuditConfig,
+    AuditTrail,
+    WindowCommitment,
+    prove,
+    replay_window,
+    verify_proof,
+)
+from repro.cli import main
+from repro.errors import AuditError
+from repro.nn import Dense, ReLU, Sequential
+from repro.runtime import DarKnightConfig
+from repro.serving import PrivateInferenceServer, ServingConfig, synthetic_trace
+
+
+def _trail(num_shards=2, log_dir=None):
+    return AuditTrail(
+        AuditConfig(log_dir=None if log_dir is None else str(log_dir), model="tiny"),
+        DarKnightConfig(virtual_batch_size=2, seed=0),
+        num_shards=num_shards,
+    )
+
+
+def _batch(batch_id, rids, dim=4):
+    rng = np.random.default_rng(batch_id)
+    return SimpleNamespace(
+        batch_id=batch_id,
+        requests=[
+            SimpleNamespace(
+                request_id=r, tenant="t0", x=rng.normal(size=dim), arrival_time=0.0
+            )
+            for r in rids
+        ],
+        flush_time=1.0 + batch_id,
+        retries=0,
+    )
+
+
+def _commit_served_window(trail, shard_id, batch_id=0, rids=(0, 1)):
+    batch = _batch(batch_id, list(rids))
+    outputs = [np.stack([np.arange(4.0) + r for r in rids])]
+    return trail.commit_window(shard_id, [batch], [outputs[0]], status="completed")
+
+
+# ----------------------------------------------------------------------
+# trail surface
+# ----------------------------------------------------------------------
+def test_membership_events_chain_and_verify():
+    trail = _trail()
+    _commit_served_window(trail, 0, batch_id=0, rids=(0, 1))
+    trail.record_membership("drain", 0, now=3.0)
+    trail.record_membership("retire", 0, now=4.0, details={"reason": "scale-in"})
+    trail.record_membership("provision", 1, now=0.5)
+    # Membership windows are first-class: counted and chain-verified.
+    assert trail.membership_events == 3
+    assert trail.windows_committed == 4
+    assert trail.verify() == trail.windows_committed
+
+    events = trail.logs[0].membership_events()
+    assert [e["kind"] for e in events] == ["drain", "retire"]
+    assert [e["time"] for e in events] == [3.0, 4.0]
+    assert events[1]["details"] == {"reason": "scale-in"}
+    assert all(e["shard_id"] == 0 for e in events)
+    assert trail.logs[1].membership_events()[0]["kind"] == "provision"
+
+
+def test_unknown_membership_kind_is_rejected():
+    trail = _trail()
+    assert set(MEMBERSHIP_KINDS) == {"provision", "drain", "retire"}
+    with pytest.raises(AuditError, match="unknown membership event kind"):
+        trail.record_membership("reboot", 0)
+    with pytest.raises(AuditError, match="no log for shard"):
+        trail.record_membership("drain", 7)
+
+
+def test_membership_windows_refuse_replay_but_not_proofs():
+    net = Sequential([Dense(4, 4, rng=np.random.default_rng(0))], (4,))
+    trail = _trail()
+    _commit_served_window(trail, 0, batch_id=0, rids=(0, 1))
+    trail.record_membership("drain", 0, now=2.0)
+    log = trail.logs[0]
+    # There is no computation behind a membership window.
+    with pytest.raises(AuditError, match="membership event"):
+        replay_window(log.entries[1], net, trail.darknight)
+    # Proofs still work: the query skips the event leaf and finds the
+    # served request on the same chain.
+    proof = prove(log, request_id=1)
+    assert verify_proof(proof, log.chain_root)
+    with pytest.raises(AuditError):
+        prove(log, request_id=99)
+
+
+def test_forged_membership_kind_fails_chain_verification():
+    with pytest.raises(AuditError, match="unknown membership event kind"):
+        WindowCommitment.build_membership(shard_id=0, kind="resurrect", time=0.0)
+
+
+# ----------------------------------------------------------------------
+# server elastic paths
+# ----------------------------------------------------------------------
+def _tiny_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(16, 12, rng=rng), ReLU(), Dense(12, 4, rng=rng)], (16,))
+
+
+def test_elastic_membership_is_audit_visible(tmp_path):
+    config = ServingConfig(
+        darknight=DarKnightConfig(virtual_batch_size=4, seed=0, num_shards=1),
+        audit=AuditConfig(log_dir=str(tmp_path)),
+        queue_capacity=64,
+    )
+    server = PrivateInferenceServer(_tiny_net(), config)
+    trace = synthetic_trace(8, (16,), n_tenants=2, mean_interarrival=1e-4, seed=11)
+    server.serve_trace(trace)
+    sid = server.provision_shard(now=1.0)
+    server.decommission_shard(sid, now=2.0)
+    kinds = [e["kind"] for e in server.audit.logs[sid].membership_events()]
+    assert kinds == ["provision", "drain", "retire"]
+    assert server.audit.verify() == server.audit.windows_committed
+
+
+def test_check_chain_prints_the_membership_history(tmp_path, capsys):
+    trail = _trail(log_dir=tmp_path)
+    _commit_served_window(trail, 0)
+    trail.record_membership("provision", 1, now=0.5)
+    trail.record_membership("drain", 1, now=2.0)
+    trail.record_membership("retire", 1, now=3.0)
+    rc = main(["audit", "check-chain", "--log-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chain OK" in out
+    assert "membership history (3 chained event(s)):" in out
+    lines = [line for line in out.splitlines() if line.startswith("  t=")]
+    assert [line.split()[3] for line in lines] == ["provision", "drain", "retire"]
+    assert all("shard 1" in line for line in lines)

@@ -485,3 +485,81 @@ def test_infinite_budgets_never_skip_retries():
     outcomes = pool.dispatch_window(batches)
     assert all(o.ok for o in outcomes)
     assert pool.retries_skipped_budget == 0
+
+
+def test_service_floor_sheds_retries_that_cannot_finish_in_time():
+    """A retry whose deadline has *not* passed at the failure frontier is
+    still shed when the remaining budget is smaller than the measured
+    per-batch service floor — no survivor can physically finish it in
+    time, so retrying would burn a healthy enclave on a guaranteed miss.
+    Counted separately from hard budget expiry."""
+    import math
+
+    from repro.serving import (
+        STATUS_SHARD_FAILED,
+        InferenceWorkerPool,
+        PendingRequest,
+        ScheduledBatch,
+        SloClass,
+        SloPolicy,
+    )
+    from repro.sharding import EnclaveShard
+
+    dk = DarKnightConfig(virtual_batch_size=2, seed=0)
+    rng = np.random.default_rng(6)
+    xs = [rng.normal(size=16) for _ in range(4)]
+
+    def _batches():
+        reqs = [
+            PendingRequest(
+                request_id=i,
+                tenant="hurried" if i == 2 else "calm",
+                x=xs[i],
+                arrival_time=0.0,
+                enqueue_time=0.0,
+            )
+            for i in range(4)
+        ]
+        return [
+            ScheduledBatch(
+                batch_id=0, requests=reqs[:2], flush_time=0.0,
+                trigger="size", slots=2, shard_id=0,
+            ),
+            ScheduledBatch(
+                batch_id=1, requests=reqs[2:], flush_time=0.0,
+                trigger="size", slots=2, shard_id=0,
+            ),
+        ]
+
+    # Probe run on identical shards: measure the failure frontier and the
+    # per-batch service floor the real pool will have observed.
+    probe_shards = [EnclaveShard.provision(i, _tiny_net(), dk) for i in range(2)]
+    probe = InferenceWorkerPool(shards=probe_shards)
+    probe_shards[0].fail_after(1)
+    assert all(o.ok for o in probe.dispatch_window(_batches()))
+    floor = probe.service_floor
+    assert math.isfinite(floor) and floor > 0
+    frontier = probe_shards[0].timeline.free_at
+
+    # Land the deadline strictly past the frontier but inside one floor:
+    # not yet expired, physically unfinishable.
+    slo = SloPolicy(
+        classes={
+            "tight": SloClass(name="tight", latency_budget=frontier + 0.5 * floor)
+        },
+        assignments={"hurried": "tight"},
+    )
+    shards = [EnclaveShard.provision(i, _tiny_net(), dk) for i in range(2)]
+    pool = InferenceWorkerPool(shards=shards, slo=slo)
+    assert pool.service_floor == math.inf  # nothing observed yet
+    shards[0].fail_after(1)
+    outcomes = pool.dispatch_window(_batches())
+    by_id = {o.request_id: o for o in outcomes}
+    assert by_id[0].ok and by_id[1].ok
+    assert by_id[2].status == STATUS_SHARD_FAILED
+    assert "budget exhausted" in by_id[2].error
+    assert pool.retries_skipped_floor == 1
+    assert pool.retries_skipped_budget == 0
+    # The co-batched infinite-budget request still failed over fine.
+    assert by_id[3].ok
+    assert math.isfinite(pool.service_floor)
