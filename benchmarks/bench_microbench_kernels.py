@@ -29,6 +29,8 @@ from repro.masking import (
     reference_aggregate,
 )
 from repro.nn.functional import conv2d_via_matmul
+from repro.precompute import enable_scratch
+from repro.quantization import QuantizationConfig
 
 FIELD = PrimeField()
 RNG = FieldRng(FIELD, seed=0)
@@ -161,6 +163,70 @@ def test_coefficient_generation_speed(benchmark):
         lambda: CoefficientSet.generate(RNG, k=4, m=2, extra_shares=1)
     )
     assert result.verify()
+
+
+def test_quantize_speed(benchmark):
+    """Float -> field lift as one in-place ufunc chain (no Python loops)."""
+    q = QuantizationConfig()
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((4, 3, 32, 32))
+    out = benchmark(lambda: q.quantize(values))
+    assert out.shape == values.shape
+    assert out.dtype == np.int64
+
+
+def test_dequantize_product_speed(benchmark):
+    """Algorithm 1 line 9 (two rounding divisions) over one float64 buffer."""
+    q = QuantizationConfig()
+    rng = np.random.default_rng(0)
+    products = q.quantize(rng.standard_normal((4, 3, 32, 32)), bias=True)
+    out = benchmark(lambda: q.dequantize_product(products))
+    assert out.shape == products.shape
+    assert out.dtype == np.float64
+
+
+@pytest.mark.parametrize("scratch", ["alloc", "scratch"])
+def test_forward_encode_hot_path_speed(benchmark, scratch):
+    """Encode at serving steady state: scratch reuse vs fresh allocation.
+
+    Same kernel, same bits either way — the scratch pool only recycles
+    non-escaping staging buffers (the limb planes and the concat input),
+    which is what lets a steady-state flush window allocate nothing.
+    Timed at 64x64 feature maps: below ~32x32 the per-call key lookups
+    cost more than the (freelist-cheap) small allocations they avoid;
+    at layer sizes the reuse wins (~1.2x encode, ~1.8x decode).
+    """
+    from repro.fieldmath import use_backend
+
+    coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
+    encoder = ForwardEncoder(coeffs, RNG)
+    x = RNG.uniform((4, 3, 64, 64))
+    previous = enable_scratch(scratch == "scratch")
+    try:
+        with use_backend("limb"):
+            batch = benchmark(lambda: encoder.encode(x))
+    finally:
+        enable_scratch(previous)
+    assert batch.shares.shape[0] == 6
+
+
+@pytest.mark.parametrize("scratch", ["alloc", "scratch"])
+def test_forward_decode_hot_path_speed(benchmark, scratch):
+    """Decode at serving steady state: scratch reuse vs fresh allocation."""
+    from repro.fieldmath import use_backend
+
+    coeffs = CoefficientSet.generate(RNG, k=4, m=1, extra_shares=1)
+    decoder = ForwardDecoder(coeffs)
+    outputs = RNG.uniform((6, 3, 64, 64))
+    previous = enable_scratch(scratch == "scratch")
+    try:
+        with use_backend("limb"):
+            reference = decoder.decode(outputs)
+            decoded = benchmark(lambda: decoder.decode(outputs))
+    finally:
+        enable_scratch(previous)
+    assert decoded.shape == (4, 3, 64, 64)
+    assert np.array_equal(decoded, reference)
 
 
 def test_conv2d_batched_gemm_speed(benchmark):

@@ -29,7 +29,9 @@ elastic shard-seconds vs the static bill) must stay inside the fixed
 bounds asserted by ``bench_autoscale.py``.  ``--partition`` does the same
 for the layer-partition exhibit (``bench_layer_partition.py``): its
 ``p99_ratio`` (3-stage pipeline group vs single enclave) must stay at or
-below 0.75.
+below 0.75.  ``--precompute`` gates the offline/online-split exhibit
+(``bench_precompute_overlap.py``): ``p99_ratio`` (precompute on vs off)
+is bounded from above and ``pool_hit_rate`` from below.
 
 ``--append`` adds the new entry to the trajectory file on a passing run
 (and seeds the file when it does not exist yet), so the history grows one
@@ -55,6 +57,10 @@ TRACKED = (
     "test_backward_reference_aggregate_speed",
     "test_coefficient_generation_speed",
     "test_conv2d_batched_gemm_speed",
+    "test_quantize_speed",
+    "test_dequantize_product_speed",
+    "test_forward_encode_hot_path_speed[scratch]",
+    "test_forward_decode_hot_path_speed[scratch]",
 )
 
 #: The in-run normalizer: a plain float64 GEMM at the same N=256 size.
@@ -74,6 +80,14 @@ AUTOSCALE_BOUNDS = {"p99_ratio": 1.10, "shard_seconds_ratio": 0.70}
 #: noisy CI neighbours).
 PARTITION_BENCH = "test_layer_partition_cuts_p99_with_bit_identical_logits"
 PARTITION_BOUNDS = {"p99_ratio": 0.75}
+
+#: The precompute-overlap exhibit's name and bounds: its ``p99_ratio``
+#: (precompute on vs off) must stay at <= 0.77 (i.e. the offline/online
+#: split keeps cutting p99 by >= 1.3x; measured ~0.38) and the mask pool
+#: must sustain a >= 0.9 hit rate on the steady-state integrity trace.
+PRECOMPUTE_BENCH = "test_precompute_overlap_on_integrity_trace"
+PRECOMPUTE_UPPER_BOUNDS = {"p99_ratio": 0.77}
+PRECOMPUTE_LOWER_BOUNDS = {"pool_hit_rate": 0.9}
 
 
 def _reject(constant: str):
@@ -181,6 +195,38 @@ def check_partition(path: Path) -> list[str]:
     return failures
 
 
+def check_precompute(path: Path) -> list[str]:
+    """Validate the precompute-overlap artifact against both bound kinds.
+
+    The offline/online-split exhibit records ``p99_ratio`` (precompute on
+    vs off, lower is better — gated from above) and ``pool_hit_rate``
+    (steady-state mask-pool hits, higher is better — gated from below) in
+    ``extra_info``; either drifting past its bound means the split stopped
+    hiding offline work in the enclave's idle gaps.
+    """
+    data = _load_strict(path)
+    rows = [b for b in data["benchmarks"] if b["name"] == PRECOMPUTE_BENCH]
+    if not rows:
+        return [f"precompute benchmark {PRECOMPUTE_BENCH!r} missing from {path}"]
+    info = rows[0].get("extra_info", {})
+    failures = []
+    for bounds, too_far, side in (
+        (PRECOMPUTE_UPPER_BOUNDS, lambda v, b: v > b, "exceeds upper"),
+        (PRECOMPUTE_LOWER_BOUNDS, lambda v, b: v < b, "falls below lower"),
+    ):
+        for key, bound in bounds.items():
+            value = info.get(key)
+            if value is None:
+                failures.append(f"precompute artifact lacks extra_info[{key!r}]")
+            elif too_far(float(value), bound):
+                failures.append(
+                    f"precompute {key} {float(value):.3f} {side} bound {bound:.2f}"
+                )
+            else:
+                print(f"precompute {key}: {float(value):.3f} (bound {bound:.2f})")
+    return failures
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
@@ -217,6 +263,14 @@ def main(argv: list[str]) -> int:
         help="also gate the layer-partition exhibit's JSON artifact"
              " (p99_ratio at 3 partitions vs the single-enclave baseline)",
     )
+    parser.add_argument(
+        "--precompute",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also gate the precompute-overlap exhibit's JSON artifact"
+             " (p99_ratio upper bound and pool_hit_rate lower bound)",
+    )
     args = parser.parse_args(argv)
 
     bench_json = _load_strict(args.results)
@@ -238,6 +292,8 @@ def main(argv: list[str]) -> int:
         failures += check_autoscale(args.autoscale)
     if args.partition is not None:
         failures += check_partition(args.partition)
+    if args.precompute is not None:
+        failures += check_precompute(args.precompute)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -265,6 +265,13 @@ def _serve_parser() -> argparse.ArgumentParser:
              " with 'python -m repro audit'",
     )
     parser.add_argument(
+        "--precompute", action="store_true",
+        help="offline/online split: pregenerate mask streams in enclave"
+             " idle gaps, cache weight encodings across flush windows, and"
+             " recycle hot-path buffers; responses stay bit-identical to a"
+             " run without the flag",
+    )
+    parser.add_argument(
         "--seed", type=int, default=None, help="determinism seed (default 0)"
     )
     return parser
@@ -359,6 +366,7 @@ _SUPERSEDED_FLAGS = (
     ("--per-request", "per_request"),
     ("--adaptive-batching", "adaptive_batching"),
     ("--audit-log", "audit_log"),
+    ("--precompute", "precompute"),
     ("--slo-budget", "slo_budget"),
     ("--slo-class", "slo_class"),
 )
@@ -432,6 +440,7 @@ def _serve(args) -> int:
     partition = pick(
         args.partition, base.partition if base else None, "replicated"
     )
+    precompute = args.precompute or (base is not None and base.precompute)
 
     if args.rate <= 0:
         raise ConfigurationError(f"--rate must be > 0, got {args.rate}")
@@ -531,6 +540,7 @@ def _serve(args) -> int:
         slo=slo,
         audit=audit,
         autoscale=autoscale,
+        precompute=precompute,
     )
     config = (
         dataclasses.replace(base, **overrides)

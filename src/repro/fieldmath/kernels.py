@@ -46,6 +46,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import FieldError
+from repro.precompute.scratch import active_scratch
 
 #: Limb geometry: 13-bit limbs cover any modulus below 2**26.
 LIMB_BITS = 13
@@ -221,10 +222,32 @@ class LimbBackend:
 
     @staticmethod
     def _two_gemm(red: BarrettReducer, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Split-B path: products <= (p-1)*LIMB_MASK, 2 GEMMs, 2 reductions."""
-        af = a.astype(np.float64)
-        low = np.matmul(af, (b & LIMB_MASK).astype(np.float64))
-        high = np.matmul(af, (b >> LIMB_BITS).astype(np.float64))
+        """Split-B path: products <= (p-1)*LIMB_MASK, 2 GEMMs, 2 reductions.
+
+        With the precompute scratch pool enabled every intermediate —
+        limb planes and both GEMM outputs — lives in recycled per-shape
+        buffers (``out=`` GEMM variants); the ``beta=0`` BLAS call and
+        in-place ufuncs make the result bit-identical either way.  The
+        returned array may alias pool memory: the sole caller copies it
+        out via ``astype(np.int64)`` immediately.
+        """
+        scratch = active_scratch()
+        if scratch is None:
+            af = a.astype(np.float64)
+            low = np.matmul(af, (b & LIMB_MASK).astype(np.float64))
+            high = np.matmul(af, (b >> LIMB_BITS).astype(np.float64))
+        else:
+            af = scratch.cast("2g_a", a, np.float64)
+            b_int = scratch.get("2g_bi", b.shape, np.int64)
+            b_f = scratch.get("2g_bf", b.shape, np.float64)
+            low = scratch.get("2g_lo", (a.shape[0], b.shape[1]), np.float64)
+            high = scratch.get("2g_hi", (a.shape[0], b.shape[1]), np.float64)
+            np.bitwise_and(b, LIMB_MASK, out=b_int)
+            np.copyto(b_f, b_int, casting="unsafe")
+            np.matmul(af, b_f, out=low)
+            np.right_shift(b, LIMB_BITS, out=b_int)
+            np.copyto(b_f, b_int, casting="unsafe")
+            np.matmul(af, b_f, out=high)
         red.reduce_f64_lazy(high)  # [0, 2p): keeps the recombination < 2**53
         high *= float(LIMB_BASE)
         low += high

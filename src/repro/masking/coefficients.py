@@ -211,17 +211,32 @@ class CoefficientSet:
     # decode-subset management
     # ------------------------------------------------------------------
     def decoding_matrix(self, subset: tuple[int, ...] | None = None) -> np.ndarray:
-        """``A[:, subset]^{-1}`` for a ``k+m``-sized invertible share subset."""
+        """``A[:, subset]^{-1}`` for a ``k+m``-sized invertible share subset.
+
+        Memoized per subset: the field inverse is deterministic and ``A``
+        is frozen, so serving windows that decode thousands of batches
+        under one cached coefficient set pay the Gauss–Jordan inversion
+        once — part of the offline/online split's "coefficient material".
+        """
         subset = self.primary_subset if subset is None else tuple(subset)
         if len(subset) != self.n_sources:
             raise EncodingError(
                 f"decoding needs exactly {self.n_sources} shares, got {len(subset)}"
             )
+        cache = self.__dict__.get("_decode_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_decode_cache", cache)
+        cached = cache.get(subset)
+        if cached is not None:
+            return cached
         sub = self.a[:, list(subset)]
         try:
-            return inverse(self.field, sub)
+            matrix = inverse(self.field, sub)
         except SingularMatrixError as exc:
             raise EncodingError(f"share subset {subset} is not decodable") from exc
+        cache[subset] = matrix
+        return matrix
 
     def iter_decoding_subsets(self, limit: int | None = None):
         """Yield invertible ``k+m``-sized share subsets (primary first).

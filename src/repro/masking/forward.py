@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import DecodingError, EncodingError
 from repro.fieldmath import FieldRng, field_matmul
 from repro.masking.coefficients import CoefficientSet
+from repro.precompute.scratch import active_scratch
 
 
 @dataclass(frozen=True)
@@ -102,7 +103,17 @@ class ForwardEncoder:
         # (n_sources, features) source block stays contiguous and no
         # (features, n_shares) intermediate needs re-transposing — same
         # exact field sums as (flat^T @ A)^T, so bit-identical shares.
-        sources = np.concatenate([inputs, noise], axis=0)
+        # The stacked source block never escapes this call, so it may live
+        # in a recycled scratch buffer (precompute mode's zero-allocation
+        # steady state); the shares themselves are always fresh.
+        scratch = active_scratch()
+        if scratch is not None:
+            sources = scratch.get(
+                "fwd_sources", (coeffs.n_sources,) + feature_shape, np.int64
+            )
+            np.concatenate([inputs, noise], axis=0, out=sources)
+        else:
+            sources = np.concatenate([inputs, noise], axis=0)
         flat = sources.reshape(coeffs.n_sources, -1)  # (k+m, features)
         shares_flat = field_matmul(field, coeffs.a.T, flat)  # (n_shares, features)
         shares = shares_flat.reshape((coeffs.n_shares,) + feature_shape)
@@ -148,8 +159,17 @@ class ForwardDecoder:
         decode_matrix = coeffs.decoding_matrix(subset)
         out_shape = outputs.shape[1:]
         # Transposed decode [Y | WR] = D^T @ Ȳ_J: one GEMM on contiguous
-        # rows, no feature-major intermediate (bit-identical sums).
-        selected = outputs[list(subset)].reshape(len(subset), -1)
+        # rows, no feature-major intermediate (bit-identical sums).  The
+        # gathered subset rows are kernel-local, so they may reuse scratch.
+        flat_outputs = outputs.reshape(coeffs.n_shares, -1)
+        scratch = active_scratch()
+        if scratch is not None:
+            selected = scratch.get(
+                "dec_selected", (len(subset), flat_outputs.shape[1]), np.int64
+            )
+            np.take(flat_outputs, list(subset), axis=0, out=selected)
+        else:
+            selected = flat_outputs[list(subset)]
         recovered = field_matmul(field, decode_matrix.T, selected)  # (k+m, features)
         recovered = recovered.reshape((coeffs.n_sources,) + out_shape)
         results = recovered[: coeffs.k]

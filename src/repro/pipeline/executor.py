@@ -160,6 +160,11 @@ class PipelineExecutor:
         self.costs = costs or DEFAULT_STAGE_COSTS
         self.timeline = timeline or EnclaveTimeline()
         self.ranker = ranker or EarliestStartRanker()
+        # Backends exposing the precompute interface get their mask pools
+        # refilled during enclave idle gaps (the ``stage_precompute`` op).
+        self._can_refill = callable(
+            getattr(backend, "precompute_pending", None)
+        ) and callable(getattr(backend, "precompute_refill", None))
 
     # ------------------------------------------------------------------
     # plan preparation
@@ -271,12 +276,30 @@ class PipelineExecutor:
         stage_totals: dict[str, float] = {}
         outputs: dict[int, np.ndarray | dict] = {}
 
+        first_release = min((item[1] for item in items), default=0.0)
+        # Freshly staged weight encodings (quantize + broadcast) occupy the
+        # enclave before the window's first compute stage; a precompute
+        # cache hit leaves ``staged_bytes`` at 0 and costs nothing here.
+        if self.costs.maskgen_bandwidth is not None:
+            for op in ops.values():
+                if op.staged_bytes:
+                    start, end = self.timeline.reserve(
+                        first_release, self.costs.maskgen_time(op.staged_bytes)
+                    )
+                    self._account(
+                        spans, stage_totals, -1, op.key, "stage_weights",
+                        "enclave", start, end,
+                    )
+                    op.staged_bytes = 0
+
         waiting = list(jobs)
         active: list[_Job] = []
         while waiting or active:
             while waiting and len(active) < self.pipeline_depth:
                 active.append(waiting.pop(0))
             job = min(active, key=self._task_rank)
+            if self._can_refill:
+                self._fill_idle_gap(job, spans, stage_totals)
             if job.transfer_bytes:
                 self._run_transfer(job, spans, stage_totals)
             elif job.future is not None:
@@ -297,7 +320,6 @@ class PipelineExecutor:
                     outputs[job.index] = {i: job.values[i] for i in live_out}
                 active.remove(job)
 
-        first_release = min((item[1] for item in items), default=0.0)
         stats = PipelineStats(
             start=min((s.start for s in spans), default=first_release),
             finish=max((s.end for s in spans), default=first_release),
@@ -311,7 +333,8 @@ class PipelineExecutor:
         for g, item in enumerate(items):
             release_time = item[1]
             members = [j for j in range(len(jobs)) if group_of[j] == g]
-            group_spans = [s for s in spans if group_of[s.job] == g]
+            # ``.get``: precompute/staging spans carry job=-1 (no group).
+            group_spans = [s for s in spans if group_of.get(s.job) == g]
             if end_idx == len(plan):
                 output = np.concatenate([outputs[j] for j in members], axis=0)
             else:
@@ -371,6 +394,41 @@ class PipelineExecutor:
         )
         totals[stage] = totals.get(stage, 0.0) + (end - start)
 
+    def _fill_idle_gap(
+        self,
+        job: _Job,
+        spans: list[StageSpan],
+        totals: dict[str, float],
+    ) -> None:
+        """Run mask-pool refills in the gap before the chosen task starts.
+
+        The paper's offline phase as a schedulable op: a refill unit runs
+        only when it fits *entirely* before the next real stage's feasible
+        start, so pregeneration can never delay online work.  Refills pay
+        bytes-only time (no ecall overhead — the enclave is already open
+        and idle); with no ``maskgen_bandwidth`` they are free on the
+        simulated clock but still fill the pool for real.
+        """
+        if job.future is not None and not job.transfer_bytes:
+            next_start = job.future.ready_at
+        else:
+            next_start = job.ready_at
+        gap_end = max(self.timeline.free_at, next_start)
+        bw = self.costs.maskgen_bandwidth
+        while True:
+            nbytes = self.backend.precompute_pending()
+            if not nbytes:
+                return
+            duration = 0.0 if bw is None else nbytes / bw
+            if self.timeline.free_at + duration > gap_end:
+                return
+            self.backend.precompute_refill()
+            if duration > 0.0:
+                start, end = self.timeline.reserve(self.timeline.free_at, duration)
+                self._account(
+                    spans, totals, -1, "mask_pool", "precompute", "enclave", start, end
+                )
+
     def _run_encode(
         self,
         job: _Job,
@@ -381,9 +439,12 @@ class PipelineExecutor:
     ) -> None:
         """Encode the job's next layer and put its shares in flight."""
         ticket = self.backend.encode(op, job.padded(k), job.index)
-        start, end = self.timeline.reserve(
-            job.ready_at, self.costs.encode_time(ticket.encode_bytes)
-        )
+        duration = self.costs.encode_time(ticket.encode_bytes)
+        if self.costs.maskgen_bandwidth is not None and ticket.inline_noise_bytes:
+            # Inline noise generation (pool miss or precompute off) rides
+            # the encode's ecall — bytes-only surcharge, no extra overhead.
+            duration += ticket.inline_noise_bytes / self.costs.maskgen_bandwidth
+        start, end = self.timeline.reserve(job.ready_at, duration)
         self._account(spans, totals, job.index, op.key, "encode", "enclave", start, end)
         future = self.backend.dispatch(ticket)
         gpu_start, ready_at = self.backend.cluster.reserve_shares(

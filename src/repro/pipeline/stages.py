@@ -45,6 +45,9 @@ class StagedLinearOp:
     gpu_op: Callable[[object, str], np.ndarray]
     #: Optional float reference over real rows (``validate_decode`` mode).
     validate: Callable[[np.ndarray, np.ndarray], None] | None = None
+    #: Quantized-weight bytes freshly broadcast by this staging call; 0 when
+    #: the encoding came from the precompute cache (prices weight staging).
+    staged_bytes: int = 0
 
     def apply_bias(self, y: np.ndarray) -> np.ndarray:
         """Add the (public) bias after decode, matching the sync path."""
@@ -67,6 +70,9 @@ class EncodeTicket:
     n_real: int  #: Leading rows that are real (the rest is padding).
     x_norm: Normalization
     encode_bytes: int  #: Bytes of masked shares produced (prices the encode).
+    #: Noise bytes drawn inline (pool miss or precompute off); priced on the
+    #: encode when the cost model sets ``maskgen_bandwidth``.
+    inline_noise_bytes: int = 0
 
 
 @dataclass

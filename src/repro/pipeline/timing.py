@@ -49,6 +49,13 @@ class StageCostModel:
         shards in a layer-partitioned pipeline (the consumer enclave
         receives, MAC-verifies, and unseals inside the TEE, so the cost
         lands on *its* timeline).
+    maskgen_bandwidth:
+        Bytes/second the enclave generates mask/noise material and
+        (re-)stages weight encodings at.  ``None`` (the default) keeps
+        the legacy model where this work is free on the simulated clock;
+        setting it prices inline noise draws and per-window weight
+        staging, which is what makes the offline/online split
+        (``precompute`` mode) visible as a simulated-latency win.
     """
 
     encode_bandwidth: float = 2e9
@@ -58,6 +65,7 @@ class StageCostModel:
     gpu_launch_overhead: float = 2e-5
     stage_overhead: float = 2e-4
     transfer_bandwidth: float = 2e9
+    maskgen_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -71,6 +79,10 @@ class StageCostModel:
                 raise ConfigurationError(f"{name} must be > 0, got {getattr(self, name)}")
         if self.gpu_launch_overhead < 0 or self.stage_overhead < 0:
             raise ConfigurationError("stage overheads must be >= 0")
+        if self.maskgen_bandwidth is not None and self.maskgen_bandwidth <= 0:
+            raise ConfigurationError(
+                f"maskgen_bandwidth must be > 0 or None, got {self.maskgen_bandwidth}"
+            )
 
     # ------------------------------------------------------------------
     # per-stage durations
@@ -95,6 +107,19 @@ class StageCostModel:
         """Consumer-enclave seconds to receive + unseal a cross-shard
         activation envelope."""
         return self.stage_overhead + nbytes / self.transfer_bandwidth
+
+    def maskgen_time(self, nbytes: int) -> float:
+        """Enclave seconds to quantize/broadcast a weight encoding.
+
+        Priced only when :attr:`maskgen_bandwidth` is set; includes the
+        ecall overhead because staging crosses the enclave boundary.
+        Background pool refills deliberately do *not* use this — they
+        run inside already-open enclave idle time, so they pay bytes
+        only (see the executor's gap filler).
+        """
+        if self.maskgen_bandwidth is None:
+            return 0.0
+        return self.stage_overhead + nbytes / self.maskgen_bandwidth
 
 
 #: Shared default so every entry point prices stages identically.

@@ -1,0 +1,37 @@
+"""Offline precompute: mask streams, weight-encoding reuse, scratch buffers.
+
+The offline/online split from the paper — enclave randomness and static
+encodings are produced ahead of the serving critical path, which then
+runs nothing but GEMMs.  Three cooperating pieces:
+
+- :class:`MaskStreamPool` — counter-based pregenerated noise tensors,
+  bit-identical between pooled and inline generation (``pool``).
+- A static weight-encoding cache lives on ``DarKnightBackend`` and is
+  invalidated through ``invalidate_precompute()`` on membership change.
+- :class:`ScratchPool` — per-shape reusable buffers for the encode/
+  decode/limb-GEMM hot path (``scratch``).
+"""
+
+from repro.precompute.pool import (
+    DEFAULT_POOL_BYTES,
+    DEFAULT_STREAM_CAPACITY,
+    MaskStreamPool,
+)
+from repro.precompute.scratch import (
+    MAX_SCRATCH_ENTRIES,
+    ScratchPool,
+    active_scratch,
+    enable_scratch,
+    scratch_enabled,
+)
+
+__all__ = [
+    "DEFAULT_POOL_BYTES",
+    "DEFAULT_STREAM_CAPACITY",
+    "MaskStreamPool",
+    "MAX_SCRATCH_ENTRIES",
+    "ScratchPool",
+    "active_scratch",
+    "enable_scratch",
+    "scratch_enabled",
+]

@@ -34,13 +34,20 @@ from repro.errors import QuantizationError
 from repro.fieldmath import PrimeField
 
 
-def round_half_up(values: np.ndarray) -> np.ndarray:
+def round_half_up(values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """The paper's Round procedure: fractional part < 0.5 floors, else ceils.
 
     Note this differs from numpy's banker's rounding (``np.rint``); ties go
-    *up* exactly as in Algorithm 1 lines 12-17.
+    *up* exactly as in Algorithm 1 lines 12-17.  The whole pass is one
+    fused ``add``/``floor`` ufunc chain over a single float64 buffer
+    (``out`` when given), never a per-element Python loop.
     """
-    return np.floor(np.asarray(values, dtype=np.float64) + 0.5)
+    if out is None:
+        out = np.array(values, dtype=np.float64)
+    else:
+        np.copyto(out, values, casting="unsafe")
+    out += 0.5
+    return np.floor(out, out=out)
 
 
 @dataclass(frozen=True)
@@ -96,12 +103,20 @@ class QuantizationConfig:
     # float -> field
     # ------------------------------------------------------------------
     def _check_range(self, ints: np.ndarray, what: str) -> np.ndarray:
+        """Range-guard quantized integers without materialising ``|ints|``.
+
+        Two scalar reductions (max and min) replace the old
+        ``abs -> compare -> any`` chain, so the fail-fast check allocates
+        no temporaries on the hot path; ``ints`` must be a buffer this
+        module owns (saturation clips it in place).
+        """
         limit = self.field.half
         if self.saturate:
-            return np.clip(ints, -limit, limit)
-        overflow = np.abs(ints) > limit
-        if np.any(overflow):
-            worst = float(np.max(np.abs(ints)))
+            return np.clip(ints, -limit, limit, out=ints)
+        hi = int(np.max(ints, initial=0))
+        lo = int(np.min(ints, initial=0))
+        if hi > limit or -lo > limit:
+            worst = float(max(hi, -lo))
             raise QuantizationError(
                 f"{what} overflows the signed field range: |value| up to {worst:.0f}"
                 f" exceeds p/2 = {limit}; lower fractional_bits or enable dynamic"
@@ -110,11 +125,24 @@ class QuantizationConfig:
         return ints
 
     def quantize(self, values: np.ndarray, *, bias: bool = False) -> np.ndarray:
-        """Floats -> canonical field elements at input scale (or bias scale)."""
+        """Floats -> canonical field elements at input scale (or bias scale).
+
+        Single-pass ufunc chain over one float64 buffer — fused
+        ``multiply``/``add``/``floor``, one int64 cast, then an in-place
+        signed lift (``+= p`` where negative).  The lift is bit-identical
+        to :meth:`~repro.fieldmath.PrimeField.from_signed`'s modulus
+        because :meth:`_check_range` has already bounded every value to
+        ``[-p/2, p/2]``.
+        """
         scale = self.product_scale if bias else self.scale
-        ints = round_half_up(np.asarray(values, dtype=np.float64) * scale)
-        ints = self._check_range(ints.astype(np.int64), "bias" if bias else "input")
-        return self.field.from_signed(ints)
+        scaled = np.array(values, dtype=np.float64)
+        scaled *= scale
+        scaled += 0.5
+        np.floor(scaled, out=scaled)
+        ints = scaled.astype(np.int64)
+        ints = self._check_range(ints, "bias" if bias else "input")
+        np.add(ints, self.field.p, out=ints, where=ints < 0)
+        return ints
 
     def quantize_weights(self, values: np.ndarray) -> np.ndarray:
         """Alias of :meth:`quantize` for readability at call sites."""
@@ -123,19 +151,39 @@ class QuantizationConfig:
     # ------------------------------------------------------------------
     # field -> float
     # ------------------------------------------------------------------
+    def _signed_inplace(self, elements: np.ndarray) -> np.ndarray:
+        """Centre-lift into a fresh int64 buffer, then fix it up in place.
+
+        Equivalent to :meth:`~repro.fieldmath.PrimeField.to_signed` bit
+        for bit, but the ``arr - p`` branch writes into the modulus
+        result instead of materialising a ``np.where`` triple.
+        """
+        signed = np.asarray(self.field.element(elements))
+        np.subtract(signed, self.field.p, out=signed, where=signed > self.field.half)
+        return signed
+
     def dequantize(self, elements: np.ndarray) -> np.ndarray:
-        """Field elements at input scale back to floats."""
-        return self.field.to_signed(elements).astype(np.float64) / self.scale
+        """Field elements at input scale back to floats (in-place chain)."""
+        out = self._signed_inplace(elements).astype(np.float64)
+        out /= self.scale
+        return out
 
     def dequantize_product(self, elements: np.ndarray) -> np.ndarray:
         """Field elements at product scale (``2**2l``) back to floats.
 
         Implements Algorithm 1 line 9: ``Round(Y_q * 2**-l) * 2**-l`` — one
         rounding division by ``2**l`` followed by a float division, which
-        matches the reference implementation bit for bit.
+        matches the reference implementation bit for bit.  The whole pass
+        is one ufunc chain over a single float64 buffer: divide, add 0.5,
+        floor, divide — ``2**l`` divisions are exact in float64, so the
+        in-place form changes no bits.
         """
-        signed = self.field.to_signed(elements).astype(np.float64)
-        return round_half_up(signed / self.scale) / self.scale
+        out = self._signed_inplace(elements).astype(np.float64)
+        out /= self.scale
+        np.add(out, 0.5, out=out)
+        np.floor(out, out=out)
+        out /= self.scale
+        return out
 
     # ------------------------------------------------------------------
     # diagnostics

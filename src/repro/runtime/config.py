@@ -84,6 +84,14 @@ class DarKnightConfig:
         (the backward pass needs a scalar batch factor); the serving layer
         enables it so routing/coalescing choices — including shard counts —
         can never change a response bit.
+    precompute:
+        Enable the offline/online split (:mod:`repro.precompute`): masks
+        are drawn from a pregenerated counter-based pool refilled during
+        enclave idle gaps, weight encodings are cached per layer across
+        flush windows (invalidated on membership change / model swap),
+        and hot-path kernels reuse per-shape scratch buffers.  Off (the
+        default) keeps the legacy always-inline behaviour; outputs are
+        bit-identical either way.
     epc_budget_bytes:
         Usable EPC bytes each provisioned enclave models (``None`` keeps
         the paper generation's ~93 MB).  The serving layer's adaptive
@@ -110,6 +118,7 @@ class DarKnightConfig:
     stage_ranker: str = "earliest"
     num_shards: int = 1
     per_sample_normalization: bool = False
+    precompute: bool = False
     epc_budget_bytes: int | None = None
     seed: int | None = None
 

@@ -49,6 +49,7 @@ from repro.masking import (
 )
 from repro.masking.virtual_batch import VirtualBatch
 from repro.pipeline.stages import EncodeTicket, GpuFuture, StagedLinearOp
+from repro.precompute import MaskStreamPool, enable_scratch
 from repro.quantization import IDENTITY, DynamicNormalizer, Normalization, QuantizationConfig
 from repro.runtime.aggregation import LargeBatchAggregator
 from repro.runtime.config import DarKnightConfig
@@ -114,6 +115,19 @@ class DarKnightBackend:
         self._grad_normalizer = DynamicNormalizer()
         self._forward_store: dict[str, list[_ForwardRecord]] = {}
         self._cached_coefficients: CoefficientSet | None = None
+        # Offline/online split: a counter-based mask pool plus a static
+        # weight-encoding cache (precompute mode only — training mutates
+        # weight arrays in place, so caching by identity is serving-only).
+        self._mask_pool: MaskStreamPool | None = None
+        self._weight_cache: dict[str, tuple[tuple, StagedLinearOp]] = {}
+        if self.config.precompute:
+            base_key = (
+                self.config.seed
+                if self.config.seed is not None
+                else int(self.enclave.rng.generator.integers(0, 2**63))
+            )
+            self._mask_pool = MaskStreamPool(self.field, base_key)
+            enable_scratch(True)
         self._aggregator = (
             LargeBatchAggregator(self.enclave) if self.config.sealed_aggregation else None
         )
@@ -212,6 +226,27 @@ class DarKnightBackend:
         if stale:
             for record in stale:
                 self.cluster.drop_shares(record.share_key)
+        if self._mask_pool is not None:
+            # Offline phase: the quantized encoding and its broadcast
+            # payload are static across flush windows.  The fingerprint is
+            # by array identity — serving weights are never mutated in
+            # place, and a model swap hands in new arrays.
+            w_arr = np.asarray(w)
+            fingerprint = (
+                kind,
+                id(w_arr),
+                w_arr.shape,
+                None if b is None else id(np.asarray(b)),
+                stride,
+                pad,
+                self.config.validate_decode,
+            )
+            cached = self._weight_cache.get(key)
+            if cached is not None and cached[0] == fingerprint:
+                op = cached[1]
+                op.staged_bytes = 0
+                self.enclave.record_compute("reuse_weights", 0)
+                return op
         w_scaled, w_norm = self._normalize(w)
         w_q = self.quantizer.quantize(w_scaled)
         self.cluster.broadcast_weights(key, w_q)
@@ -226,9 +261,14 @@ class DarKnightBackend:
             else:
                 reference = lambda rows: rows @ w
             validate = lambda got, rows: self._validate(got, reference(rows), key)
-        return StagedLinearOp(
+        op = StagedLinearOp(
             kind=kind, key=key, w_norm=w_norm, bias=b, gpu_op=gpu_op, validate=validate
         )
+        op.staged_bytes = int(w_q.nbytes)
+        if self._mask_pool is not None:
+            self.enclave.record_compute("stage_weights", int(w_q.nbytes))
+            self._weight_cache[key] = (fingerprint, op)
+        return op
 
     def encode(self, op: StagedLinearOp, vb: VirtualBatch, vb_index: int) -> EncodeTicket:
         """Stage 1 — mask one virtual batch and scatter its shares.
@@ -243,7 +283,19 @@ class DarKnightBackend:
         self.enclave.record_compute("quantize_inputs", int(x_q.nbytes))
         coeffs = self._fresh_coefficients()
         encoder = ForwardEncoder(coeffs, self.enclave.rng)
-        encoded = encoder.encode(x_q)
+        inline_noise_bytes = int(coeffs.m) * int(x_q[0].nbytes)
+        if self._mask_pool is not None and coeffs.m > 0:
+            noise, pooled = self._mask_pool.draw(
+                x_q.shape[1:], coeffs.k, coeffs.m
+            )
+            if pooled:
+                self.enclave.record_compute("mask_pool_hit", int(noise.nbytes))
+                inline_noise_bytes = 0
+            else:
+                self.enclave.record_compute("mask_inline", int(noise.nbytes))
+            encoded = encoder.encode(x_q, noise=noise)
+        else:
+            encoded = encoder.encode(x_q)
         self.enclave.record_compute("encode_forward", int(encoded.shares.nbytes))
         share_key = f"{op.key}/step{self._step}/vb{vb_index}"
         self._scatter(share_key, encoded.shares)
@@ -267,6 +319,7 @@ class DarKnightBackend:
             n_real=vb.n_real,
             x_norm=x_norm,
             encode_bytes=int(encoded.shares.nbytes),
+            inline_noise_bytes=inline_noise_bytes,
         )
 
     def dispatch(self, ticket: EncodeTicket) -> GpuFuture:
@@ -517,6 +570,47 @@ class DarKnightBackend:
     def open_encodings(self) -> int:
         """Stored (layer, virtual-batch) encodings not yet released."""
         return sum(len(records) for records in self._forward_store.values())
+
+    # ------------------------------------------------------------------
+    # offline precompute (mask pool + weight-encoding cache)
+    # ------------------------------------------------------------------
+    def invalidate_precompute(self) -> None:
+        """Drop cached weight encodings (membership change / model swap).
+
+        The next :meth:`stage_linear` per layer re-quantizes and
+        re-broadcasts from scratch.  The mask pool is untouched — its
+        streams are keyed by shape, not by model identity, and its
+        counters must keep advancing for bit-identity.
+        """
+        self._weight_cache.clear()
+
+    def precompute_pending(self) -> int:
+        """Bytes of the next mask-pool refill unit (0 = saturated or off).
+
+        The pipeline executor polls this to fill enclave idle gaps with
+        ``stage_precompute`` work.
+        """
+        return 0 if self._mask_pool is None else self._mask_pool.pending_bytes()
+
+    def precompute_refill(self) -> int:
+        """Pregenerate one mask tensor; returns its byte size."""
+        if self._mask_pool is None:
+            return 0
+        nbytes = self._mask_pool.refill_one()
+        if nbytes:
+            self.enclave.record_compute("precompute_mask", nbytes)
+        return nbytes
+
+    def precompute_snapshot(self) -> dict | None:
+        """Strict-JSON pool + weight-cache telemetry (``None`` when off)."""
+        if self._mask_pool is None:
+            return None
+        snap = self._mask_pool.snapshot()
+        counts = self.enclave.ledger.op_counts
+        snap["weights_staged"] = counts.get("stage_weights", 0)
+        snap["weights_reused"] = counts.get("reuse_weights", 0)
+        snap["cached_layers"] = len(self._weight_cache)
+        return snap
 
     def assert_encodings_released(self) -> None:
         """Fail loudly if any encoding survived cleanup.

@@ -76,6 +76,9 @@ class ServerMetrics:
         #: Executed elastic membership changes (zero when autoscale off).
         self.scale_outs = 0
         self.scale_ins = 0
+        #: Aggregated mask-pool / weight-cache telemetry (``None`` when
+        #: the offline precompute split is off).
+        self._precompute: dict | None = None
         self._first_arrival: float | None = None
         self._last_completion: float | None = None
 
@@ -147,6 +150,17 @@ class ServerMetrics:
             self.scale_ins += 1
         else:
             raise ValueError(f"unknown scale action {action!r}")
+
+    def record_precompute(self, snapshot: dict | None) -> None:
+        """Attach the deployment's precompute telemetry (or ``None``).
+
+        The server pushes its aggregated mask-pool / weight-cache
+        snapshot here at report time so :meth:`snapshot` carries it.
+        Rate fields that are undefined (a pool never drawn from, no
+        registered streams) must already be ``None`` — never ``inf`` or
+        ``NaN`` — so the snapshot stays strict-JSON.
+        """
+        self._precompute = snapshot
 
     def record_shed(self, tenant: str, kind: str = SHED_ADMISSION) -> None:
         """Account one request lost to backpressure.
@@ -300,7 +314,25 @@ class ServerMetrics:
             "audit_commit_seconds": _finite(self.audit_commit_seconds),
             "scale_outs": self.scale_outs,
             "scale_ins": self.scale_ins,
+            "precompute": self._precompute_snapshot(_finite),
         }
+
+    def _precompute_snapshot(self, _finite) -> dict | None:
+        """Strict-JSON copy of the attached precompute telemetry.
+
+        Every float rate passes through the ``_finite`` filter so a pool
+        that was never drawn from (or a shard set with no registered
+        streams) reports ``null`` rather than ``inf``/``NaN`` — the same
+        contract the latency fields keep, enforced by
+        ``benchmarks/validate_artifacts.py``.
+        """
+        if self._precompute is None:
+            return None
+        out = dict(self._precompute)
+        for key in ("hit_rate", "occupancy"):
+            if out.get(key) is not None:
+                out[key] = _finite(out[key])
+        return out
 
     def render(self, title: str = "Serving metrics") -> str:
         """ASCII table of the snapshot (plus per-class rows under SLO)."""
@@ -335,6 +367,11 @@ class ServerMetrics:
         if snap["scale_outs"] or snap["scale_ins"]:
             rows.append(["scale-outs", snap["scale_outs"]])
             rows.append(["scale-ins", snap["scale_ins"]])
+        if snap["precompute"] is not None:
+            pre = snap["precompute"]
+            rows.append(["pool hit rate", _fmt(pre["hit_rate"], digits=3)])
+            rows.append(["pool refills", pre["refills"]])
+            rows.append(["weight reuses", pre["weights_reused"]])
         if snap["slo_classes"]:
             rows.append(["shed at admission", snap["shed_at_admission"]])
             rows.append(["evicted by class", snap["shed_evicted"]])

@@ -99,6 +99,14 @@ class ScheduledBatch:
         worker pool when the batch fails over to a survivor.
     retries:
         Times the batch was re-dispatched after a shard failure.
+    deadline:
+        Absolute end-to-end deadline the dispatch window carries, or
+        ``None`` to let the worker pool derive it from the requests'
+        class budgets at dispatch time.  Failover stamps this on retry
+        batches with the *remaining* SLO budget of the surviving
+        requests at the failure frontier, so a retry inherits exactly
+        the time its requests still have — never the static flush
+        deadline of the window it originally rode in.
     """
 
     batch_id: int
@@ -108,6 +116,7 @@ class ScheduledBatch:
     slots: int = 1
     shard_id: int = 0
     retries: int = 0
+    deadline: float | None = None
 
     @property
     def n_requests(self) -> int:

@@ -46,6 +46,7 @@ from repro.errors import (
 from repro.gpu import GpuCluster
 from repro.nn import Sequential
 from repro.pipeline.timing import StageCostModel
+from repro.precompute import active_scratch
 from repro.runtime.client import DEFAULT_CODE_IDENTITY
 from repro.runtime.config import DarKnightConfig
 from repro.serving.adaptive import (
@@ -166,6 +167,16 @@ class ServingConfig:
         ``min_shards`` and ``max_shards``.  ``darknight.num_shards``
         becomes the *initial* count (clamped into the bounds).  ``None``
         — the default — keeps the static deployment.
+    precompute:
+        Enable the offline/online split on every shard's backend:
+        pregenerated mask streams (drawn from counter-based per-shard
+        RNG streams, so pooled and inline generation are bit-identical),
+        a static per-``(shard, layer)`` weight-encoding cache reused
+        across flush windows, and recycled hot-path scratch buffers.
+        Refills run only in enclave-timeline idle gaps.  ``False`` — the
+        default — keeps the serving path bit-identical to previous
+        releases; ``True`` changes *when* work happens, never the bits
+        of any response.
     partition:
         How the model maps onto the deployment's shards.
         ``"replicated"`` (the default) gives every shard the full model;
@@ -194,6 +205,7 @@ class ServingConfig:
     shard_weights: tuple[float, ...] | None = None
     audit: AuditConfig | None = None
     autoscale: AutoscaleConfig | None = None
+    precompute: bool = False
     partition: str = "replicated"
 
     # ------------------------------------------------------------------
@@ -249,6 +261,7 @@ class ServingConfig:
             ),
             "audit": _opt_asdict(self.audit),
             "autoscale": _opt_asdict(self.autoscale),
+            "precompute": self.precompute,
             "partition": self.partition,
         }
 
@@ -375,6 +388,8 @@ class ServingReport:
     audit_roots: dict[int, str] | None = None
     #: Elastic-membership telemetry (``None`` when autoscaling is off).
     autoscale: dict | None = None
+    #: Mask-pool / weight-cache telemetry (``None`` when precompute off).
+    precompute: dict | None = None
 
     @property
     def completed(self) -> list[RequestOutcome]:
@@ -411,6 +426,15 @@ class ServingReport:
                 f" {self.autoscale['scale_ins']} scale-ins,"
                 f" peak {self.autoscale['peak_shards']} shards,"
                 f" {self.autoscale['shard_seconds']:.3f} shard-seconds"
+            )
+        if self.precompute is not None:
+            hit_rate = self.precompute["hit_rate"]
+            lines.append(
+                "precompute: pool hit rate "
+                + ("n/a" if hit_rate is None else f"{hit_rate:.3f}")
+                + f", {self.precompute['refills']} refills,"
+                f" {self.precompute['pooled_bytes_peak']:,} bytes pooled (peak),"
+                f" {self.precompute['weights_reused']} weight reuses"
             )
         if self.audit_roots is not None:
             heads = ", ".join(
@@ -467,6 +491,8 @@ class PrivateInferenceServer:
             # Served logits must not depend on batch composition (and so
             # not on coalescing, pipelining, or shard routing choices).
             dk = dataclasses.replace(dk, per_sample_normalization=True)
+        if self.config.precompute and not dk.precompute:
+            dk = dataclasses.replace(dk, precompute=True)
         autoscale = self.config.autoscale
         if autoscale is not None:
             # num_shards becomes the *initial* count, clamped into the
@@ -793,6 +819,7 @@ class PrivateInferenceServer:
         self.autoscaler.note_provisioned(shard_id, now)
         self.metrics.record_scale(ACTION_SCALE_OUT)
         self._apply_epc_pool()
+        self._invalidate_precompute()
         return shard_id
 
     def decommission_shard(
@@ -870,7 +897,65 @@ class PrivateInferenceServer:
         self.autoscaler.note_retired(vid, now)
         self.metrics.record_scale(ACTION_SCALE_IN)
         self._apply_epc_pool()
+        self._invalidate_precompute()
         return vid
+
+    def _invalidate_precompute(self) -> None:
+        """Drop every live shard's cached weight encodings.
+
+        Called after each membership change: a provision or retire
+        re-shapes routing and (under a shared EPC pool) the coalescing
+        target, so cached per-layer encodings must be re-validated by
+        the next window rather than trusted across the topology change.
+        Mask pools are deliberately untouched — their counters must keep
+        advancing for pooled/inline bit-identity.
+        """
+        for shard in self._live_shards():
+            backend = getattr(shard, "backend", None)
+            invalidate = getattr(backend, "invalidate_precompute", None)
+            if callable(invalidate):
+                invalidate()
+
+    def _precompute_report(self) -> dict | None:
+        """Aggregate pool/weight-cache telemetry across live shards.
+
+        Counts sum; the hit rate is recomputed from the summed draws
+        (``None`` before any draw — strict-JSON, never ``NaN``); the
+        occupancy averages over shards that have registered streams.
+        ``None`` when no live backend runs in precompute mode.
+        """
+        snaps = []
+        for shard in self._live_shards():
+            backend = getattr(shard, "backend", None)
+            snap_fn = getattr(backend, "precompute_snapshot", None)
+            snap = snap_fn() if callable(snap_fn) else None
+            if snap is not None:
+                snaps.append(snap)
+        if not snaps:
+            return None
+        agg = {
+            key: sum(s[key] for s in snaps)
+            for key in (
+                "streams",
+                "hits",
+                "misses",
+                "refills",
+                "pooled_bytes",
+                "pooled_bytes_peak",
+                "weights_staged",
+                "weights_reused",
+                "cached_layers",
+            )
+        }
+        draws = agg["hits"] + agg["misses"]
+        agg["hit_rate"] = None if draws == 0 else agg["hits"] / draws
+        occupancies = [s["occupancy"] for s in snaps if s["occupancy"] is not None]
+        agg["occupancy"] = (
+            None if not occupancies else sum(occupancies) / len(occupancies)
+        )
+        scratch = active_scratch()
+        agg["scratch"] = None if scratch is None else scratch.snapshot()
+        return agg
 
     def _apply_epc_pool(self) -> None:
         """Re-size ``K`` between windows against the shared EPC pool.
@@ -1090,6 +1175,8 @@ class PrivateInferenceServer:
         for outcome in self._outcomes:
             if outcome.completion_time is not None:
                 end = max(end, outcome.completion_time)
+        precompute = self._precompute_report()
+        self.metrics.record_precompute(precompute)
         return ServingReport(
             outcomes=list(self._outcomes),
             metrics=self.metrics,
@@ -1109,4 +1196,5 @@ class PrivateInferenceServer:
                 if self.autoscale_config is not None
                 else None
             ),
+            precompute=precompute,
         )

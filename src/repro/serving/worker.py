@@ -244,7 +244,14 @@ class InferenceWorkerPool:
             )
 
     def _batch_deadline(self, batch: ScheduledBatch) -> float:
-        """The tightest end-to-end deadline among the batch's requests."""
+        """The tightest end-to-end deadline among the batch's requests.
+
+        A batch carrying an explicit :attr:`ScheduledBatch.deadline`
+        (a failover retry stamped with its requests' remaining budget)
+        keeps it; otherwise the deadline derives from class budgets.
+        """
+        if batch.deadline is not None:
+            return batch.deadline
         if self.slo is None:
             return math.inf
         return min(
@@ -520,6 +527,19 @@ class InferenceWorkerPool:
             groups.setdefault(self._retry_target(request.tenant, failed_shard), []).append(
                 request
             )
+
+        def _remaining_deadline(requests: list) -> float | None:
+            # The retry inherits the survivors' remaining SLO budget as
+            # its deadline (arrival + budget is absolute, so whatever is
+            # left at the frontier is exactly what the retry may spend),
+            # never the window's static flush deadline.
+            if self.slo is None:
+                return None
+            return min(
+                req.arrival_time + self.slo.budget_for(req.tenant)
+                for req in requests
+            )
+
         return [
             ScheduledBatch(
                 batch_id=batch.batch_id,
@@ -529,6 +549,7 @@ class InferenceWorkerPool:
                 slots=batch.slots,
                 shard_id=target,
                 retries=batch.retries + 1,
+                deadline=_remaining_deadline(requests),
             )
             for target, requests in sorted(groups.items())
         ]

@@ -365,6 +365,16 @@ class PipelineGroup:
         #: Per-member canonical rows from the last window, for audit
         #: fan-out onto each member shard's own chain.
         self.last_sub_outputs: dict[int, list] = {}
+        # A (re)built group re-maps stage ranges onto members, so any
+        # weight encodings a member cached for its *previous* range are
+        # stale; drop them before the first window (mask pools keep
+        # their counters — bit-identity needs the draw order intact).
+        for member in self.members:
+            invalidate = getattr(
+                getattr(member, "backend", None), "invalidate_precompute", None
+            )
+            if callable(invalidate):
+                invalidate()
         # Key one verified channel per hop; the mesh gates every pair.
         self._hops: list[tuple[SecureChannel, SecureChannel]] = []
         for a, b in zip(self.members, self.members[1:]):
